@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure from the paper's
+evaluation (see DESIGN.md §4 for the index).  Benchmarks print a
+paper-style table, save it under ``benchmarks/results/``, and assert the
+paper's *qualitative* claims (orderings, approximate factors) — absolute
+numbers come from the simulated substrate and are recorded in
+EXPERIMENTS.md.
+
+Workload sizes are scaled down from the paper where memory/time demand it;
+every scaled figure states both the paper's parameters and ours.  Scaling
+does not change the reported *shapes*: the simulator charges time from the
+roofline models, which are linear in the data volume at fixed arithmetic
+intensity.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_table(name: str, text: str) -> None:
+    """Print a rendered table and persist it for the terminal summary."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing.
+
+    Simulation benchmarks are deterministic; repeated rounds only add
+    wall-clock without statistical value.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,88 @@
+"""Ablation S7 — single GPU context vs per-task contexts (§III.C.3).
+
+"GPU context switch is expensive.  Such overhead is magnified when a
+large number of MapReduce tasks create their own GPU context.  [Therefore]
+we make GPU device daemon to be the only thread that communicate to GPU
+device."  We run the same GPU-only C-means job both ways and split the
+damage into its two components: the per-task context-creation time, and
+the loss of the loop-invariant cache (per-task contexts cannot keep data
+resident between iterations).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import once, save_table
+from repro.analysis.tables import format_table
+from repro.apps.cmeans import CMeansApp
+from repro.data.synth import gaussian_mixture
+from repro.hardware import delta_cluster
+from repro.runtime.job import JobConfig, Overheads
+from repro.runtime.prs import PRSRuntime
+
+POINTS, DIMS, M, ITERS = 100_000, 64, 10, 5
+
+
+def run(single_context: bool, context_cost: float):
+    pts, _, _ = gaussian_mixture(POINTS, DIMS, M, seed=23)
+    app = CMeansApp(pts, M, seed=24, max_iterations=ITERS, epsilon=1e-12)
+    overheads = Overheads(
+        job_setup_s=0.0, cpu_task_dispatch_s=0.0, gpu_task_dispatch_s=0.0,
+        iteration_s=0.0, gpu_context_s=context_cost,
+    )
+    config = JobConfig(
+        use_cpu=False, single_gpu_context=single_context, overheads=overheads
+    )
+    return PRSRuntime(delta_cluster(4), config).run(app)
+
+
+def build_table():
+    funneled = run(True, context_cost=2e-2)
+    per_task = run(False, context_cost=2e-2)
+    per_task_free = run(False, context_cost=0.0)  # cache loss only
+
+    def describe(result):
+        return (
+            result.makespan,
+            result.trace.total_bytes(kind="h2d") / 1e6,
+        )
+
+    rows = []
+    data = {}
+    for label, result in (
+        ("single context (PRS design)", funneled),
+        ("per-task contexts", per_task),
+        ("per-task, context free (cache loss only)", per_task_free),
+    ):
+        makespan, h2d = describe(result)
+        data[label] = (makespan, h2d)
+        rows.append([label, f"{makespan * 1e3:.2f} ms", f"{h2d:.2f} MB"])
+    table = format_table(
+        ["configuration", "makespan", "h2d traffic"],
+        rows,
+        title=(
+            "Ablation S7: GPU context funneling, C-means GPU-only "
+            f"({POINTS} pts x {DIMS}D, {ITERS} iterations, 4 nodes)"
+        ),
+    )
+    return table, data
+
+
+@pytest.mark.benchmark(group="ablation-context")
+def test_ablation_gpu_context(benchmark):
+    table, data = once(benchmark, build_table)
+    save_table("ablation_context", table)
+
+    funneled = data["single context (PRS design)"]
+    per_task = data["per-task contexts"]
+    cache_loss = data["per-task, context free (cache loss only)"]
+
+    # The funneled design wins decisively overall.
+    assert per_task[0] > 2.0 * funneled[0]
+    # Both components contribute: cache loss alone already re-stages the
+    # input every iteration...
+    assert cache_loss[1] > 3.0 * funneled[1]
+    assert cache_loss[0] > funneled[0]
+    # ...and per-task context switches add on top of that.
+    assert per_task[0] > cache_loss[0]

@@ -1,0 +1,109 @@
+"""Ablation S2 — CUDA-stream overlap and the Equation (9)/(11) rules.
+
+§III.B.3b: "the stream approach can only improve application performance
+whose data transferring overhead is similar to computation overhead.
+Otherwise there will not be much overlap to hide the overhead", plus the
+two launch conditions: overlap percentage above a threshold and block size
+above ``MinBs``.  We sweep arithmetic intensity on the Delta GPU, compare
+the simulated stream win against Equation (9)'s overlap percentage, show
+the MinBs rule on the BLAS3 profile, and compare Fermi's single hardware
+queue against Kepler Hyper-Q.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import once, save_table
+from repro.analysis.tables import format_table
+from repro.core.granularity import (
+    min_block_size,
+    overlap_percentage,
+    should_use_streams,
+)
+from repro.core.intensity import ConstantIntensity, dgemm_intensity
+from repro.hardware.presets import bigred2_node, delta_node
+from repro.simulate.streams import StreamBlock, simulate_stream_batch
+
+NBYTES = 2e7
+N_BLOCKS = 8
+
+
+def stream_win(gpu, intensity, n_streams):
+    blocks = [StreamBlock(NBYTES, intensity * NBYTES)] * N_BLOCKS
+    serial = simulate_stream_batch(gpu, blocks, n_streams=1)
+    overlapped = simulate_stream_batch(gpu, blocks, n_streams=n_streams)
+    return serial / overlapped
+
+
+def build_table():
+    delta = delta_node(n_gpus=1)
+    bigred2 = bigred2_node()
+
+    rows = []
+    sweep = {}
+    for ai in (2.0, 10.0, 50.0, 200.0, 1000.0, 10_000.0, 100_000.0):
+        op = overlap_percentage(delta.gpu, ai, NBYTES)
+        use = should_use_streams(delta.gpu, ConstantIntensity(ai), NBYTES)
+        win_fermi = stream_win(delta.gpu, ai, n_streams=2)
+        win_kepler = stream_win(bigred2.gpu, ai, n_streams=8)
+        sweep[ai] = (op, use, win_fermi, win_kepler)
+        rows.append(
+            [
+                f"{ai:g}",
+                f"{op:.3f}",
+                "yes" if use else "no",
+                f"{win_fermi:.3f}x",
+                f"{win_kepler:.3f}x",
+            ]
+        )
+    ai_table = format_table(
+        ["A (flops/B)", "op (eq 9)", "launch streams?",
+         "win C2070 (2 str)", "win K20 (8 str)"],
+        rows,
+        title="Ablation S2: stream overlap vs arithmetic intensity "
+              f"({N_BLOCKS} blocks x {NBYTES:.0e} B)",
+    )
+
+    # MinBs (Equation 11) on the BLAS3 profile.
+    prof = dgemm_intensity()
+    minbs = min_block_size(delta.gpu, prof)
+    minbs_rows = [
+        [f"{frac:g} x MinBs",
+         "yes" if should_use_streams(delta.gpu, prof, frac * minbs) else "no"]
+        for frac in (0.25, 0.5, 1.5, 4.0)
+    ]
+    minbs_table = format_table(
+        ["BLAS3 block size", "launch streams?"],
+        minbs_rows,
+        title=(
+            f"Ablation S2: Equation (11) MinBs rule (dgemm profile, "
+            f"MinBs = {minbs:.3e} B on C2070)"
+        ),
+    )
+    return ai_table + "\n\n" + minbs_table, (sweep, minbs, prof, delta)
+
+
+@pytest.mark.benchmark(group="ablation-streams")
+def test_ablation_streams(benchmark):
+    text, (sweep, minbs, prof, delta) = once(benchmark, build_table)
+    save_table("ablation_streams", text)
+
+    # Balanced transfer/compute (op ~ 0.5): the biggest stream win.
+    wins = {ai: v[2] for ai, v in sweep.items()}
+    ops = {ai: v[0] for ai, v in sweep.items()}
+    best_ai = max(wins, key=wins.get)
+    assert abs(ops[best_ai] - 0.5) < 0.35
+    # Extremes gain little: "there will not be much overlap to hide".
+    assert wins[2.0] < 1.05          # transfer-dominated: op ~ 1
+    assert wins[100_000.0] < 1.05    # compute-dominated: op ~ 0
+    assert wins[best_ai] > 1.4
+    # The launch rule matches the measured benefit direction.
+    for ai, (op, use, win, _) in sweep.items():
+        if use:
+            assert win > 1.0
+    # MinBs rule: below saturation size streams are off, above they're on.
+    assert not should_use_streams(delta.gpu, prof, 0.5 * minbs)
+    assert should_use_streams(delta.gpu, prof, 4.0 * minbs)
+    # Hyper-Q at least matches Fermi's overlap efficiency where it counts.
+    assert sweep[best_ai][3] > 1.2

@@ -1,0 +1,81 @@
+"""Extension E1 — the model ported to BigRed2 (K20 + Opteron, Table 4).
+
+The paper's evaluation figures run on Delta; BigRed2 appears in Table 4 as
+the second testbed.  This bench demonstrates the model's portability claim
+("it can be applied to a wide range of ... hardware devices"): the same
+applications, scheduled by the same Equation (8), on the K20/Opteron
+presets — with the splits shifting exactly as the changed roofline
+parameters dictate (a 3.4x faster GPU pulls work away from the CPU at high
+intensity; the CPU still owns the low-intensity regime).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import once, save_table
+from repro.analysis.tables import format_table
+from repro.apps.cmeans import CMeansApp
+from repro.core.analytic import workload_split
+from repro.core.intensity import cmeans_intensity, gemv_intensity, gmm_intensity
+from repro.data.synth import gaussian_mixture
+from repro.hardware import bigred2_cluster, bigred2_node, delta_node
+from repro.runtime.job import JobConfig, Overheads
+from repro.runtime.prs import PRSRuntime
+
+QUIET = Overheads(0.0, 0.0, 0.0, 0.0)
+
+
+def build_table():
+    delta = delta_node(n_gpus=1)
+    br2 = bigred2_node()
+
+    cases = [
+        ("gemv", gemv_intensity(), True),
+        ("cmeans M=100", cmeans_intensity(100), False),
+        ("gmm", gmm_intensity(10, 60), False),
+    ]
+    rows = []
+    splits = {}
+    for name, profile, staged in cases:
+        p_delta = workload_split(delta, profile, staged=staged).p
+        p_br2 = workload_split(br2, profile, staged=staged).p
+        splits[name] = (p_delta, p_br2)
+        rows.append([name, f"{p_delta:.1%}", f"{p_br2:.1%}"])
+    split_table = format_table(
+        ["app", "p on Delta", "p on BigRed2"],
+        rows,
+        title="Extension E1: Equation (8) across testbeds",
+    )
+
+    # End-to-end weak-scaling spot check on BigRed2 (C-means).
+    points_per_node = 50_000
+    gflops = {}
+    for n_nodes in (1, 4):
+        pts, _, _ = gaussian_mixture(points_per_node * n_nodes, 100, 10, seed=31)
+        app = CMeansApp(pts, 10, seed=32, max_iterations=3, epsilon=1e-12)
+        result = PRSRuntime(
+            bigred2_cluster(n_nodes=n_nodes), JobConfig(overheads=QUIET)
+        ).run(app)
+        gflops[n_nodes] = result.gflops_per_node(n_nodes)
+    spot = (
+        f"\nC-means GFLOP/s per node on BigRed2 (GPU+CPU): "
+        f"{gflops[1]:.1f} @1 node, {gflops[4]:.1f} @4 nodes"
+    )
+    return split_table + spot, (splits, gflops)
+
+
+@pytest.mark.benchmark(group="ext-bigred2")
+def test_ext_bigred2(benchmark):
+    table, (splits, gflops) = once(benchmark, build_table)
+    save_table("ext_bigred2", table)
+
+    # High intensity: the K20's 3.4x peak pulls p down (130/1160 -> 330/3850).
+    assert splits["gmm"][1] < splits["gmm"][0]
+    assert splits["gmm"][1] == pytest.approx(330.0 / (3520.0 + 330.0), abs=1e-3)
+    # Low intensity: CPU-dominated on both machines.
+    assert splits["gemv"][0] > 0.9 and splits["gemv"][1] > 0.9
+    # Weak scaling holds on the second testbed too.
+    assert gflops[4] == pytest.approx(gflops[1], rel=0.15)
+    # And the absolute per-node rate exceeds Delta's (bigger silicon).
+    assert gflops[1] > 200.0

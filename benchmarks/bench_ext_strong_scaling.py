@@ -1,0 +1,85 @@
+"""Extension E2 — strong scaling (fixed total problem, growing machine).
+
+The paper evaluates weak scaling only (Figure 6).  Strong scaling is the
+natural companion question a PRS adopter asks: with the problem fixed,
+how far do more fat nodes help?  The analytic expectation from the
+machinery the paper builds: speedup tracks the node count while per-node
+compute dominates, then flattens as the per-iteration communication floor
+(state broadcast + shuffle + gather, growing with log/linear node terms)
+takes over — classic Amdahl behaviour with the serial term supplied by
+the interconnect.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import once, save_table
+from repro.analysis.asciiplot import bar_chart
+from repro.analysis.tables import format_table
+from repro.apps.cmeans import CMeansApp
+from repro.data.synth import gaussian_mixture
+from repro.hardware import delta_cluster
+from repro.runtime.job import JobConfig, Overheads
+from repro.runtime.prs import PRSRuntime
+
+TOTAL_POINTS, DIMS, M, ITERS = 400_000, 64, 10, 3
+NODE_COUNTS = (1, 2, 4, 8, 16)
+QUIET = Overheads(0.0, 0.0, 0.0, 0.0)
+
+
+def run(n_nodes: int) -> float:
+    pts, _, _ = gaussian_mixture(TOTAL_POINTS, DIMS, M, seed=71)
+    app = CMeansApp(pts, M, seed=72, max_iterations=ITERS, epsilon=1e-12)
+    result = PRSRuntime(
+        delta_cluster(n_nodes=n_nodes), JobConfig(overheads=QUIET)
+    ).run(app)
+    assert result.iterations == ITERS
+    return result.makespan
+
+
+def build_table():
+    times = {n: run(n) for n in NODE_COUNTS}
+    base = times[1]
+    rows = []
+    for n in NODE_COUNTS:
+        speedup = base / times[n]
+        rows.append(
+            [
+                str(n),
+                f"{times[n] * 1e3:.3f} ms",
+                f"{speedup:.2f}x",
+                f"{speedup / n:.0%}",
+            ]
+        )
+    table = format_table(
+        ["nodes", "makespan", "speedup", "efficiency"],
+        rows,
+        title=(
+            "Extension E2: strong scaling, C-means "
+            f"({TOTAL_POINTS:,} pts x {DIMS}D, {ITERS} iterations, GPU+CPU)"
+        ),
+    )
+    table += "\n\n" + bar_chart(
+        {"speedup": {f"{n} nodes": base / times[n] for n in NODE_COUNTS}},
+        unit="x",
+    )
+    return table, times
+
+
+@pytest.mark.benchmark(group="ext-strong")
+def test_ext_strong_scaling(benchmark):
+    table, times = once(benchmark, build_table)
+    save_table("ext_strong_scaling", table)
+
+    base = times[1]
+    # Near-ideal at small node counts (compute dominates)...
+    assert base / times[2] > 1.7
+    assert base / times[4] > 3.0
+    # ...monotone throughout...
+    ordered = [times[n] for n in NODE_COUNTS]
+    assert all(b <= a * 1.02 for a, b in zip(ordered, ordered[1:]))
+    # ...but efficiency degrades as the communication floor emerges.
+    eff_4 = base / times[4] / 4
+    eff_16 = base / times[16] / 16
+    assert eff_16 < eff_4

@@ -1,0 +1,87 @@
+"""Figure 3 — roofline curves and ridge points of the Delta devices.
+
+The paper's Figure 3 plots the roofline of the Delta node's CPU complex
+and GPU, showing "drastically different ridge points": the CPU's ridge
+``A_cr`` sits at a few flops/byte while the staged GPU (input crossing
+PCI-E) has a ridge ``A_gr`` orders of magnitude to the right.  This bench
+regenerates the curves as a table of samples plus the ridge summary, and
+asserts the structural facts Equation (8)'s regime split relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _harness import once, save_table
+from repro.analysis.tables import format_table
+from repro.core.roofline import RooflineModel, roofline_curve
+from repro.hardware import delta_node
+
+
+def build_tables():
+    node = delta_node(n_gpus=1)
+    cpu = RooflineModel(node.cpu)
+    gpu_staged = RooflineModel(node.gpu, staged=True)
+    gpu_resident = RooflineModel(node.gpu, staged=False)
+
+    sample_ais = [2.0**k for k in range(-2, 13, 2)]
+    rows = []
+    for ai in sample_ais:
+        rows.append(
+            [
+                f"{ai:g}",
+                f"{cpu.attainable(ai):.1f}",
+                f"{gpu_staged.attainable(ai):.2f}",
+                f"{gpu_resident.attainable(ai):.1f}",
+            ]
+        )
+    curve_table = format_table(
+        ["A (flops/B)", "CPU GF/s", "GPU staged GF/s", "GPU resident GF/s"],
+        rows,
+        title="Figure 3: roofline samples, Delta node",
+    )
+
+    ridge_table = format_table(
+        ["device", "peak GF/s", "B_eff GB/s", "ridge A (flops/B)"],
+        [
+            ["CPU (2x X5660)", f"{cpu.peak:.0f}", f"{cpu.bandwidth:.1f}",
+             f"{cpu.ridge:.2f}"],
+            ["GPU staged (C2070)", f"{gpu_staged.peak:.0f}",
+             f"{gpu_staged.bandwidth:.3f}", f"{gpu_staged.ridge:.0f}"],
+            ["GPU resident (C2070)", f"{gpu_resident.peak:.0f}",
+             f"{gpu_resident.bandwidth:.1f}", f"{gpu_resident.ridge:.2f}"],
+        ],
+        title="Figure 3: ridge points (A_cr, A_gr)",
+    )
+
+    from repro.analysis.asciiplot import loglog_plot
+
+    curves = {}
+    for name, model in (
+        ("cpu", cpu), ("gpu-staged", gpu_staged), ("gpu-resident", gpu_resident)
+    ):
+        xs, ys = roofline_curve(model.device, staged=model.staged, points=48)
+        curves[name] = (list(xs), list(ys))
+    plot = loglog_plot(
+        curves, xlabel="arithmetic intensity (flops/B)", ylabel="GFLOP/s"
+    )
+    return (
+        curve_table + "\n\n" + ridge_table + "\n\n" + plot,
+        (cpu, gpu_staged, gpu_resident),
+    )
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_roofline(benchmark):
+    text, (cpu, gpu_staged, gpu_resident) = once(benchmark, build_tables)
+    save_table("fig3_roofline", text)
+
+    # "usually the GPU and CPU have drastically different ridge points"
+    assert gpu_staged.ridge > 100 * cpu.ridge
+    # A_cr < A_gr when data stages through PCI-E (Figure 3's geometry).
+    assert cpu.ridge < gpu_staged.ridge
+    # Curves are monotone and saturate at peak.
+    ais, perf = roofline_curve(delta_node().gpu, staged=True, hi=2.0**14)
+    assert np.all(np.diff(perf) >= -1e-9)
+    assert perf[-1] == pytest.approx(delta_node().gpu.peak_gflops)

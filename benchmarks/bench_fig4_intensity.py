@@ -1,0 +1,67 @@
+"""Figure 4 — the arithmetic-intensity spectrum of applications.
+
+The paper places applications along the roofline x-axis: word count and
+log analysis at the low end, GEMV low, FFT and K-means in the middle,
+C-means/GMM higher, and DGEMM (BLAS3) at the top with size-dependent
+intensity.  This bench regenerates the spectrum from the intensity
+catalogue, tags each application with the Equation-(8) regime it falls in
+on the Delta node, and asserts the orderings the scheduling discussion
+depends on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import once, save_table
+from repro.analysis.tables import format_table
+from repro.core.analytic import workload_split
+from repro.core.intensity import APPLICATION_INTENSITIES
+from repro.hardware import delta_node
+
+#: probe block: 1 GB, except the DGEMM row which quotes two sizes
+PROBE = 1e9
+
+
+def build_table():
+    node = delta_node(n_gpus=1)
+    entries = []
+    for name, profile in APPLICATION_INTENSITIES.items():
+        ai = profile.at(PROBE)
+        decision = workload_split(node, profile, staged=True,
+                                  partition_bytes=PROBE)
+        entries.append((name, ai, decision))
+    entries.sort(key=lambda e: e[1])
+    rows = [
+        [
+            name,
+            f"{ai:.3g}",
+            decision.regime.value,
+            f"{decision.p:.1%}",
+        ]
+        for name, ai, decision in entries
+    ]
+    table = format_table(
+        ["application", "A @1GB (flops/B)", "regime (eq 8)", "CPU share p"],
+        rows,
+        title="Figure 4: arithmetic intensity spectrum on a Delta node",
+    )
+    return table, entries
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_intensity_spectrum(benchmark):
+    table, entries = once(benchmark, build_table)
+    save_table("fig4_intensity_spectrum", table)
+
+    by_name = {name: (ai, d) for name, ai, d in entries}
+    # Low end: word count / spmv; GEMV at 2; the iterative clustering apps
+    # in the middle-high range; DGEMM high (at 1 GB blocks).
+    assert by_name["wordcount"][0] < by_name["gemv"][0] < by_name["fft"][0]
+    assert by_name["fft"][0] < by_name["cmeans"][0]
+    # The spectrum must span all three Equation-(8) regimes.
+    regimes = {d.regime for _, _, d in entries}
+    assert len(regimes) == 3
+    # CPU share decreases monotonically along the spectrum.
+    shares = [d.p for _, _, d in entries]
+    assert all(b <= a + 1e-12 for a, b in zip(shares, shares[1:]))

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""GEMV co-processing: the paper's order-of-magnitude headline.
+
+GEMV's arithmetic intensity (2 flops/byte) sits far below both ridge
+points, so a staged GPU is starved by PCI-E while the CPU streams from
+DRAM — Equation (8) assigns ~97 % of the rows to the CPU, and
+"using all CPU cores increase the GPU performance by 1011.8 %" (§IV).
+
+This example runs the same row-striped GEMV three ways on a simulated
+4-node Delta cluster — CPU-only, GPU-only, and the analytic GPU+CPU
+co-processing split — verifies all three against NumPy, and prints the
+timing comparison.
+
+Run:  python examples/gemv_coprocessing.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import JobConfig, PRSRuntime, delta_cluster
+from repro.analysis.tables import format_table
+from repro.apps.gemv import GemvApp
+from repro.data.synth import random_matrix, random_vector
+from repro.runtime.job import Overheads
+
+ROWS, COLS = 80_000, 128
+
+
+def main() -> None:
+    a = random_matrix(ROWS, COLS, seed=1)
+    x = random_vector(COLS, seed=2)
+    cluster = delta_cluster(n_nodes=4)
+    # Compute-phase comparison: zero the fixed runtime overheads, as the
+    # paper's GEMV measurements isolate the kernel+staging costs.
+    quiet = Overheads(0.0, 0.0, 0.0, 0.0)
+
+    configs = {
+        "CPU only": JobConfig(use_gpu=False, overheads=quiet),
+        "GPU only": JobConfig(use_cpu=False, overheads=quiet),
+        "GPU+CPU (eq 8)": JobConfig(overheads=quiet),
+    }
+
+    reference = a.astype(np.float64) @ x.astype(np.float64)
+    rows, times = [], {}
+    for name, config in configs.items():
+        app = GemvApp(a, x)
+        result = PRSRuntime(cluster, config).run(app)
+        y = app.assemble(result.output)
+        max_err = float(np.max(np.abs(y - reference)))
+        times[name] = result.makespan
+        split = f"{result.splits[0].p:.1%}" if result.splits else "-"
+        rows.append(
+            [
+                name,
+                f"{result.makespan * 1e3:.2f} ms",
+                f"{result.gflops_per_node(4):.1f}",
+                split,
+                f"{max_err:.1e}",
+            ]
+        )
+
+    print(
+        format_table(
+            ["configuration", "makespan", "GF/s per node", "CPU share p",
+             "max |err|"],
+            rows,
+            title=f"GEMV {ROWS}x{COLS} on 4 simulated Delta nodes",
+        )
+    )
+    gain = times["GPU only"] / times["GPU+CPU (eq 8)"]
+    print(f"\nco-processing gain over GPU-only: {gain:.1f}x "
+          f"(paper measured ~11x, analytic ceiling ~36x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Scheduling advisor: use the paper's analytic model standalone.
+
+The core contribution of the paper is a closed-form scheduling model
+(Equations 1-11) that needs *no test runs* — just the roofline parameters
+of the hardware and the arithmetic intensity of the application.  This
+example uses it the way a practitioner would: ask, for a set of candidate
+applications on a given fat node,
+
+* what CPU/GPU workload split Equation (8) prescribes and why (regime),
+* the predicted co-processing speedup over GPU-only execution,
+* whether CUDA streams are worth launching (Equations 9-11) and the
+  minimal GPU block size that saturates the device.
+
+Run:  python examples/scheduling_advisor.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.analytic import AnalyticModel, workload_split
+from repro.core.granularity import (
+    min_block_size,
+    overlap_percentage,
+    should_use_streams,
+)
+from repro.core.intensity import (
+    cmeans_intensity,
+    dgemm_intensity,
+    gemv_intensity,
+    gmm_intensity,
+    wordcount_intensity,
+)
+from repro.hardware import bigred2_node, delta_node
+
+PARTITION = 256e6  # 256 MB partition reaching the sub-task scheduler
+
+
+def advise(node, name, profile, resident):
+    staged = not resident
+    decision = workload_split(node, profile, staged=staged,
+                              partition_bytes=PARTITION)
+    model = AnalyticModel(node, profile, staged=staged)
+    speedup = model.speedup_over_gpu_only(PARTITION)
+
+    gpu = node.gpu
+    op = overlap_percentage(gpu, profile, PARTITION * decision.gpu_fraction)
+    streams = should_use_streams(gpu, profile, PARTITION * decision.gpu_fraction)
+    try:
+        minbs = f"{min_block_size(gpu, profile):.2e} B"
+    except ValueError:
+        minbs = "unreachable"
+    return [
+        name,
+        f"{profile.at(PARTITION):.3g}",
+        decision.regime.value,
+        f"{decision.p:.1%}",
+        f"{speedup:.2f}x",
+        f"{op:.2f}",
+        "yes" if streams else "no",
+        minbs,
+    ]
+
+
+def main() -> None:
+    candidates = [
+        ("wordcount", wordcount_intensity(), False),
+        ("gemv", gemv_intensity(), False),
+        ("cmeans M=100 (cached)", cmeans_intensity(100), True),
+        ("gmm M=10 D=60 (cached)", gmm_intensity(10, 60), True),
+        ("dgemm (BLAS3)", dgemm_intensity(), False),
+    ]
+    for node in (delta_node(n_gpus=1), bigred2_node()):
+        rows = [advise(node, *candidate) for candidate in candidates]
+        print(
+            format_table(
+                ["application", "A", "regime", "CPU p", "co-proc gain",
+                 "op (eq9)", "streams?", "MinBs (eq11)"],
+                rows,
+                title=f"\nScheduling plan for one {node.name} fat node "
+                      f"({node.cpu.name} + {node.gpu.name})",
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro — reproduction of "Co-processing SPMD computation on CPUs and GPUs
+cluster" (Li, Fox, von Laszewski, Chauhan — IEEE CLUSTER 2013).
+
+The package implements the paper's PRS (Parallel Runtime System): a
+MapReduce-style runtime that co-schedules SPMD computation across the CPUs
+and GPUs of a cluster, driven by a roofline-derived analytic scheduling
+model (Equation 8 for the CPU/GPU workload split, Equations 9-11 for task
+granularity).  Physical GPUs and the cluster are replaced by a calibrated
+discrete-event simulation substrate; application kernels execute real
+NumPy, so results are numerically meaningful while timing comes from the
+roofline device models.
+
+Quick start::
+
+    from repro import PRSRuntime, JobConfig, delta_cluster
+    from repro.apps import CMeansApp
+    from repro.data import gaussian_mixture
+
+    points, labels, _ = gaussian_mixture(20_000, 16, 5, seed=1)
+    app = CMeansApp(points, n_clusters=5)
+    result = PRSRuntime(delta_cluster(4), JobConfig()).run(app)
+    print(result.makespan, app.centers)
+
+Subpackages
+-----------
+``repro.core``      — the analytic scheduling model (the contribution)
+``repro.hardware``  — device/node/cluster descriptions + Table 4 presets
+``repro.simulate``  — discrete-event engine, resources, stream overlap
+``repro.comm``      — simulated MPI-style communicator and cost models
+``repro.runtime``   — the PRS runtime (API, two-level scheduler, daemons)
+``repro.apps``      — C-means, K-means, GMM, GEMV, word count, DGEMM, DA
+``repro.baselines`` — MPI/GPU, MPI/CPU, Mahout comparators (Table 3)
+``repro.data``      — synthetic dataset generators
+``repro.analysis``  — clustering quality metrics, projections, tables
+"""
+
+from repro.core import (
+    AnalyticModel,
+    Regime,
+    RooflineModel,
+    SplitDecision,
+    workload_split,
+)
+from repro.hardware import (
+    Cluster,
+    DeviceSpec,
+    FatNode,
+    bigred2_cluster,
+    bigred2_node,
+    delta_cluster,
+    delta_node,
+)
+from repro.runtime import (
+    Block,
+    IterativeMapReduceApp,
+    JobConfig,
+    JobResult,
+    MapReduceApp,
+    PRSRuntime,
+    Scheduling,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticModel",
+    "Regime",
+    "RooflineModel",
+    "SplitDecision",
+    "workload_split",
+    "Cluster",
+    "DeviceSpec",
+    "FatNode",
+    "delta_node",
+    "delta_cluster",
+    "bigred2_node",
+    "bigred2_cluster",
+    "MapReduceApp",
+    "IterativeMapReduceApp",
+    "Block",
+    "JobConfig",
+    "JobResult",
+    "Scheduling",
+    "PRSRuntime",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Result analysis: clustering quality metrics, projections, reporting.
+
+Supports the Figure 5 reproduction ("we also compare results between
+C-means and K-means and DA approaches in terms of average width over
+clusters and points and clusters overlapping with standard Flame results")
+and the table formatting shared by the benchmark harness.
+"""
+
+from repro.analysis.metrics import (
+    adjusted_rand_index,
+    average_cluster_width,
+    best_label_matching,
+    cluster_overlap,
+)
+from repro.analysis.asciiplot import bar_chart, loglog_plot
+from repro.analysis.projection import pca_project
+from repro.analysis.report import render_report
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "average_cluster_width",
+    "cluster_overlap",
+    "adjusted_rand_index",
+    "best_label_matching",
+    "pca_project",
+    "format_table",
+    "render_report",
+    "loglog_plot",
+    "bar_chart",
+]

@@ -1,0 +1,103 @@
+"""Terminal plots for the figure benchmarks.
+
+The paper's Figures 3 and 6 are plots; the benchmark harness runs in a
+terminal, so these helpers render the same shapes as ASCII — a log-log
+line plot for roofline curves and grouped horizontal bars for the
+weak-scaling comparison.  Pure-text output keeps the harness dependency
+free and diff-able.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro._validation import require_positive, require_positive_int
+
+_MARKS = "*o+x#@"
+
+
+def loglog_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 18,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render named (x, y) series on shared log-log axes.
+
+    Each series is drawn with its own marker; a legend follows the frame.
+    """
+    require_positive_int("width", width)
+    require_positive_int("height", height)
+    points = [
+        (x, y)
+        for xs, ys in series.values()
+        for x, y in zip(xs, ys)
+        if x > 0 and y > 0
+    ]
+    if not points:
+        raise ValueError("nothing to plot: no positive points")
+    lx = [math.log10(x) for x, _ in points]
+    ly = [math.log10(y) for _, y in points]
+    x_lo, x_hi = min(lx), max(lx)
+    y_lo, y_hi = min(ly), max(ly)
+    x_span = max(x_hi - x_lo, 1e-9)
+    y_span = max(y_hi - y_lo, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+    for mark, (name, (xs, ys)) in zip(_MARKS, series.items()):
+        for x, y in zip(xs, ys):
+            if x <= 0 or y <= 0:
+                continue
+            col = int((math.log10(x) - x_lo) / x_span * (width - 1))
+            row = int((math.log10(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = [f"{ylabel} (log)"]
+    for i, row in enumerate(grid):
+        edge = f"{10 ** y_hi:8.3g} |" if i == 0 else (
+            f"{10 ** y_lo:8.3g} |" if i == height - 1 else "         |"
+        )
+        lines.append(edge + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(
+        f"          {10 ** x_lo:<10.3g}{xlabel + ' (log)':^{width - 20}}"
+        f"{10 ** x_hi:>10.3g}"
+    )
+    legend = "   ".join(
+        f"{mark} {name}" for mark, name in zip(_MARKS, series.keys())
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    groups: Mapping[str, Mapping[str, float]],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Grouped horizontal bars: ``{group: {series: value}}``.
+
+    The Figure 6 shape — per app (group), one bar per configuration.
+    """
+    require_positive_int("width", width)
+    values = [v for bars in groups.values() for v in bars.values()]
+    if not values:
+        raise ValueError("nothing to plot: no bars")
+    top = max(values)
+    require_positive("max value", top)
+
+    label_width = max(
+        (len(f"{g} {s}") for g, bars in groups.items() for s in bars),
+        default=4,
+    )
+    lines = []
+    for group, bars in groups.items():
+        for series, value in bars.items():
+            n = int(round(value / top * width))
+            label = f"{group} {series}".ljust(label_width)
+            lines.append(f"{label} |{'#' * n}{' ' * (width - n)}| "
+                         f"{value:.4g}{unit}")
+        lines.append("")
+    return "\n".join(lines).rstrip()

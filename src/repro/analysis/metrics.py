@@ -1,0 +1,101 @@
+"""Clustering-quality metrics for the Figure 5 comparison.
+
+The paper scores clusterings by "average width over clusters and points"
+(lower = tighter clusters) and "points and clusters overlapping with
+standard Flame results" (higher = better agreement with the reference).
+We implement both, plus the adjusted Rand index as a standard
+label-agnostic agreement score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro._validation import require_positive_int
+
+
+def _check_labels(points: np.ndarray, labels: np.ndarray) -> None:
+    if points.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"points ({points.shape[0]}) and labels ({labels.shape[0]}) "
+            "length mismatch"
+        )
+
+
+def average_cluster_width(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean distance of each point to its cluster centroid.
+
+    The "average width over clusters and points": averages point-to-center
+    distances within each cluster, then averages over clusters, so small
+    tight clusters are not swamped by large ones.
+    """
+    x = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels)
+    _check_labels(x, labels)
+    widths = []
+    for j in np.unique(labels):
+        members = x[labels == j]
+        center = members.mean(axis=0)
+        widths.append(float(np.mean(np.linalg.norm(members - center, axis=1))))
+    return float(np.mean(widths))
+
+
+def contingency(labels_a: np.ndarray, labels_b: np.ndarray) -> np.ndarray:
+    """Contingency table between two labelings."""
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.shape != b.shape:
+        raise ValueError(f"label shapes differ: {a.shape} vs {b.shape}")
+    a_vals, a_idx = np.unique(a, return_inverse=True)
+    b_vals, b_idx = np.unique(b, return_inverse=True)
+    table = np.zeros((a_vals.size, b_vals.size), dtype=np.int64)
+    np.add.at(table, (a_idx, b_idx), 1)
+    return table
+
+
+def best_label_matching(
+    labels: np.ndarray, reference: np.ndarray
+) -> dict[int, int]:
+    """Optimal cluster-to-reference matching (Hungarian algorithm).
+
+    Returns a mapping from each predicted cluster id to the reference
+    cluster it best corresponds to.
+    """
+    table = contingency(labels, reference)
+    pred_ids = np.unique(np.asarray(labels))
+    ref_ids = np.unique(np.asarray(reference))
+    row, col = linear_sum_assignment(-table)
+    return {int(pred_ids[r]): int(ref_ids[c]) for r, c in zip(row, col)}
+
+
+def cluster_overlap(labels: np.ndarray, reference: np.ndarray) -> float:
+    """Fraction of points agreeing with the reference under the best
+    cluster matching — the paper's "points and clusters overlapping with
+    standard Flame results" score (1.0 = perfect overlap)."""
+    labels = np.asarray(labels)
+    reference = np.asarray(reference)
+    matching = best_label_matching(labels, reference)
+    mapped = np.array([matching.get(int(l), -1) for l in labels])
+    return float(np.mean(mapped == reference))
+
+
+def adjusted_rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Adjusted Rand index between two labelings (1 = identical)."""
+    table = contingency(labels_a, labels_b)
+    n = table.sum()
+    if n < 2:
+        raise ValueError("need at least 2 points")
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(table.astype(np.float64)).sum()
+    sum_rows = comb2(table.sum(axis=1).astype(np.float64)).sum()
+    sum_cols = comb2(table.sum(axis=0).astype(np.float64)).sum()
+    total = comb2(np.float64(n))
+    expected = sum_rows * sum_cols / total
+    max_index = 0.5 * (sum_rows + sum_cols)
+    if max_index == expected:
+        return 1.0
+    return float((sum_cells - expected) / (max_index - expected))

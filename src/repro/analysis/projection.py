@@ -1,0 +1,41 @@
+"""Dimension reduction for visualising clusterings (Figure 5).
+
+The paper projects the 4-D Lymphocytes points to 3-D with the
+interpolation/MDS machinery of refs [31][32] before plotting.  For a 4->3
+linear reduction, PCA retains the same qualitative cluster geometry and is
+deterministic, so :func:`pca_project` is the substitution used by the
+Figure 5 benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import require_positive_int
+
+
+def pca_project(
+    points: np.ndarray, n_components: int = 3
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Project *points* onto their top principal components.
+
+    Returns ``(projected, components, explained_variance_ratio)`` where
+    ``projected`` has shape ``(n, n_components)``, ``components`` holds the
+    principal axes as rows, and the ratio vector says how much variance the
+    kept axes explain.
+    """
+    x = np.asarray(points, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {x.shape}")
+    require_positive_int("n_components", n_components)
+    if n_components > x.shape[1]:
+        raise ValueError(
+            f"cannot keep {n_components} components of {x.shape[1]}-D data"
+        )
+    centered = x - x.mean(axis=0)
+    # SVD of the centered data: rows of vt are principal axes.
+    _, s, vt = np.linalg.svd(centered, full_matrices=False)
+    variance = s**2
+    ratio = variance / variance.sum() if variance.sum() > 0 else variance
+    components = vt[:n_components]
+    return centered @ components.T, components, ratio[:n_components]

@@ -1,0 +1,113 @@
+"""Human-readable job reports from a :class:`~repro.runtime.job.JobResult`.
+
+``render_report`` assembles the post-mortem a PRS operator wants after a
+run: the scheduling decision actually taken, achieved throughput against
+what the analytic model predicted, per-device utilization, per-iteration
+timing (with the first-iteration staging overhead called out), and an
+optional timeline.  Used by the CLI's ``run --report`` and importable for
+notebooks/scripts.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.hardware.cluster import Cluster
+from repro.runtime.job import JobResult
+
+
+def render_report(
+    result: JobResult,
+    cluster: Cluster | None = None,
+    *,
+    gantt: bool = False,
+    gantt_width: int = 72,
+) -> str:
+    """Render a multi-section text report for *result*."""
+    sections: list[str] = []
+
+    # ---- headline ------------------------------------------------------
+    lines = [
+        f"makespan          : {result.makespan * 1e3:.3f} ms (simulated)",
+        f"iterations        : {result.iterations}",
+        f"total flops       : {result.total_flops / 1e9:.3f} GFLOP",
+        f"throughput        : {result.gflops:.2f} GFLOP/s",
+        f"network traffic   : {result.network_bytes / 1e6:.3f} MB",
+    ]
+    if cluster is not None:
+        lines.insert(0, f"cluster           : {cluster.n_nodes}x {cluster.name}")
+        lines.append(
+            f"per-node rate     : "
+            f"{result.gflops_per_node(cluster.n_nodes):.2f} GFLOP/s"
+        )
+    sections.append("\n".join(lines))
+
+    # ---- scheduling decision --------------------------------------------
+    if result.splits:
+        split = result.splits[0]
+        measured_cpu = result.device_fraction(".cpu")
+        sections.append(
+            "\n".join(
+                [
+                    "scheduling (Equation 8):",
+                    f"  regime          : {split.regime.value}",
+                    f"  analytic p      : {split.p:.1%} CPU / "
+                    f"{split.gpu_fraction:.1%} GPU",
+                    f"  executed split  : {measured_cpu:.1%} of flops on CPU",
+                    f"  attainable F    : CPU {split.cpu_rate:.1f} / "
+                    f"GPU {split.gpu_rate:.1f} GFLOP/s",
+                ]
+            )
+        )
+
+    # ---- devices ---------------------------------------------------------
+    rows = []
+    for device, stats in sorted(result.trace.summary().items()):
+        rows.append(
+            [
+                device,
+                f"{stats['busy'] * 1e3:.3f} ms",
+                f"{stats['flops'] / 1e9:.3f}",
+                f"{stats['bytes'] / 1e6:.3f} MB",
+                f"{stats['utilization']:.0%}",
+            ]
+        )
+    if rows:
+        sections.append(
+            format_table(
+                ["device", "busy", "GFLOP", "moved", "util"],
+                rows,
+                title="per-device activity:",
+            )
+        )
+
+    # ---- iterations -------------------------------------------------------
+    log = result.iteration_log
+    if log is not None and len(log) > 1:
+        iter_rows = [
+            [
+                str(s.index),
+                f"{s.duration * 1e3:.3f} ms",
+                f"{s.network_bytes / 1e3:.2f} kB",
+                str(s.map_pairs),
+            ]
+            for s in log.stats
+        ]
+        table = format_table(
+            ["iter", "duration", "network", "map pairs"],
+            iter_rows,
+            title="per-iteration timing:",
+        )
+        overhead = log.first_iteration_overhead()
+        if overhead > 0:
+            table += (
+                f"\none-off staging overhead in iteration 0: "
+                f"{overhead * 1e3:.3f} ms "
+                f"(steady state {log.steady_state_time() * 1e3:.3f} ms)"
+            )
+        sections.append(table)
+
+    # ---- timeline ----------------------------------------------------------
+    if gantt:
+        sections.append("timeline:\n" + result.trace.gantt(width=gantt_width))
+
+    return "\n\n".join(sections)

@@ -1,0 +1,123 @@
+"""Row-blocked DGEMM — the high-intensity BLAS3 anchor (Figure 4, §III.B.3b).
+
+``C = A @ B`` with one input item per row of ``A``.  A map task over ``b``
+rows moves ``4*N*(b + K)`` bytes (its slab of A plus the replicated B) and
+executes ``2*b*N*K`` flops, so its arithmetic intensity
+
+.. math::  A(b) = \\frac{K}{2} \\cdot \\frac{b}{b + K}
+
+genuinely *grows with block size* and saturates at ``K/2`` — the "BLAS3,
+whose arithmetic intensity is O(N)" case the paper uses to motivate
+Equation (11): below ``MinBs`` the GPU cannot reach peak, so the sub-task
+scheduler must not split finer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro._validation import require_positive
+from repro.core.intensity import IntensityProfile
+from repro.runtime.api import Block, MapReduceApp
+
+
+@dataclass(frozen=True, repr=False)
+class RowBlockGemmIntensity(IntensityProfile):
+    """``A(bytes)`` for a row-blocked GEMM with inner dim N, output dim K.
+
+    ``bytes`` counts the A-slab only (that is what the runtime stages per
+    block: ``b`` rows of ``4*N`` bytes); the replicated-B traffic appears
+    in the denominator of the intensity, which is what makes it
+    block-size-dependent.
+    """
+
+    n_inner: int
+    n_out: int
+    itemsize: int = 4
+    label: str = "dgemm-rows"
+
+    def __post_init__(self) -> None:
+        require_positive("n_inner", self.n_inner)
+        require_positive("n_out", self.n_out)
+
+    def at(self, nbytes: float) -> float:
+        require_positive("nbytes", nbytes)
+        b = nbytes / (self.itemsize * self.n_inner)  # rows in the block
+        return (self.n_out / 2.0) * b / (b + self.n_out)
+
+    def inverse(self, intensity: float) -> float:
+        require_positive("intensity", intensity)
+        limit = self.n_out / 2.0
+        if intensity >= limit:
+            raise ValueError(
+                f"{self.label}: intensity saturates at K/2 = {limit}, "
+                f"cannot reach {intensity}"
+            )
+        b = intensity * self.n_out / (limit - intensity)
+        return b * self.itemsize * self.n_inner
+
+
+class DgemmApp(MapReduceApp):
+    """Dense ``C = A @ B`` with row-striped map tasks."""
+
+    name = "dgemm"
+
+    def __init__(self, a: np.ndarray, b: np.ndarray) -> None:
+        a = np.ascontiguousarray(a)
+        b = np.ascontiguousarray(b)
+        if a.ndim != 2 or b.ndim != 2:
+            raise ValueError("a and b must be 2-D")
+        if a.shape[1] != b.shape[0]:
+            raise ValueError(
+                f"inner dimensions differ: {a.shape} @ {b.shape}"
+            )
+        self.a = a
+        self.b = b
+        self._intensity = RowBlockGemmIntensity(
+            n_inner=a.shape[1], n_out=b.shape[1], itemsize=a.itemsize
+        )
+
+    # ------------------------------------------------------------------
+    def n_items(self) -> int:
+        return self.a.shape[0]
+
+    def item_bytes(self) -> float:
+        return float(self.a.shape[1] * self.a.itemsize)
+
+    def intensity(self) -> IntensityProfile:
+        return self._intensity
+
+    def map_output_bytes(self, block: Block) -> float:
+        return float(block.n_items * self.b.shape[1] * self.a.itemsize)
+
+    def reduce_flops(self, key: Any, values: list[Any]) -> float:
+        return 1.0  # identity reduce
+
+    # ------------------------------------------------------------------
+    def cpu_map(self, block: Block) -> list[tuple[Any, Any]]:
+        c = self.a[block.start : block.stop] @ self.b
+        return [((block.start, block.stop), c)]
+
+    def cpu_reduce(self, key: Any, values: list[Any]) -> Any:
+        if len(values) != 1:
+            raise RuntimeError(f"dgemm: duplicate slab for rows {key}")
+        return values[0]
+
+    # ------------------------------------------------------------------
+    def assemble(self, output: dict[Any, Any]) -> np.ndarray:
+        c = np.zeros((self.a.shape[0], self.b.shape[1]), dtype=np.float64)
+        covered = 0
+        for (start, stop), slab in output.items():
+            c[start:stop] = slab
+            covered += stop - start
+        if covered != self.a.shape[0]:
+            raise RuntimeError(
+                f"dgemm: assembled {covered} of {self.a.shape[0]} rows"
+            )
+        return c
+
+    def reference(self) -> np.ndarray:
+        return self.a.astype(np.float64) @ self.b.astype(np.float64)

@@ -1,0 +1,101 @@
+"""Row-striped GEMV (paper §IV.A.3).
+
+"We use row wise block-striped decomposition to parallel matrix-vector
+multiplication.  We associate a primitive map task with each row of the
+matrix A.  Vectors B and C are replicated among the map tasks [...] reduce
+task can concatenate the pieces of vector C into a complete vector."
+
+One input item is one matrix row; a map task over a block of rows computes
+``y[block] = A[block] @ x`` and emits a single keyed slice; the reduce is
+the identity and :meth:`GemvApp.assemble` concatenates the slices.  The
+paper runs the per-device kernels through vendor BLAS (cuBLAS on the GPU,
+MKL on the CPU); here both paths land in NumPy's BLAS, with the cuBLAS
+route expressed through :meth:`gpu_host_map` — the CUDA ``__host__``
+function slot of Table 1.
+
+Arithmetic intensity is pinned at 2 flops/byte (Table 5), the low-intensity
+regime where Equation (8) assigns almost all work to the CPU.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.intensity import IntensityProfile, gemv_intensity
+from repro.runtime.api import Block, MapReduceApp
+
+
+class GemvApp(MapReduceApp):
+    """Dense matrix-vector multiply ``y = A @ x`` on PRS."""
+
+    name = "gemv"
+
+    def __init__(self, matrix: np.ndarray, vector: np.ndarray) -> None:
+        matrix = np.ascontiguousarray(matrix)
+        vector = np.ascontiguousarray(vector)
+        if matrix.ndim != 2:
+            raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+        if vector.ndim != 1 or vector.shape[0] != matrix.shape[1]:
+            raise ValueError(
+                f"vector shape {vector.shape} incompatible with matrix "
+                f"{matrix.shape}"
+            )
+        self.matrix = matrix
+        self.vector = vector
+        self._intensity = gemv_intensity()
+
+    # ------------------------------------------------------------------
+    def n_items(self) -> int:
+        return self.matrix.shape[0]
+
+    def item_bytes(self) -> float:
+        return float(self.matrix.shape[1] * self.matrix.itemsize)
+
+    def intensity(self) -> IntensityProfile:
+        return self._intensity
+
+    def map_output_bytes(self, block: Block) -> float:
+        return float(block.n_items * self.matrix.itemsize)
+
+    def reduce_flops(self, key: Any, values: list[Any]) -> float:
+        return 1.0  # identity reduce
+
+    # ------------------------------------------------------------------
+    def cpu_map(self, block: Block) -> list[tuple[Any, Any]]:
+        """MKL-route SGEMV over the row block."""
+        y = self.matrix[block.start : block.stop] @ self.vector
+        return [((block.start, block.stop), y)]
+
+    def gpu_host_map(self, block: Block) -> list[tuple[Any, Any]]:
+        """cuBLAS-route SGEMV: the CUDA ``__host__`` slot of Table 1.
+
+        Numerically identical to the CPU path here; its existence routes
+        the GPU daemon through the host-function dispatch, as the paper's
+        GEMV implementation does.
+        """
+        return self.cpu_map(block)
+
+    def cpu_reduce(self, key: Any, values: list[Any]) -> Any:
+        if len(values) != 1:
+            raise RuntimeError(f"gemv: duplicate slice for rows {key}")
+        return values[0]
+
+    # ------------------------------------------------------------------
+    def assemble(self, output: dict[Any, Any]) -> np.ndarray:
+        """Concatenate the reduce outputs into the full result vector."""
+        y = np.zeros(self.matrix.shape[0], dtype=np.float64)
+        covered = 0
+        for (start, stop), chunk in output.items():
+            y[start:stop] = chunk
+            covered += stop - start
+        if covered != self.matrix.shape[0]:
+            raise RuntimeError(
+                f"gemv: assembled {covered} of {self.matrix.shape[0]} rows"
+            )
+        return y
+
+    def reference(self) -> np.ndarray:
+        """Direct ``A @ x`` for verification."""
+        return self.matrix.astype(np.float64) @ self.vector.astype(np.float64)

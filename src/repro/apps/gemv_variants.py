@@ -1,0 +1,199 @@
+"""Column-striped and checkerboard GEMV decompositions (§IV.A.3).
+
+"There are three straightforward ways to decompose a MxN matrix A: row
+wise block striping, column wise block striping and the checkerboard
+block decomposition.  In this paper, we use row wise block-striped
+decomposition" — :class:`repro.apps.gemv.GemvApp`.  The other two are
+implemented here because they stress the runtime differently:
+
+* **column-striped** — a map task owns a block of *columns* and computes a
+  full-length partial result ``A[:, block] @ x[block]``; every task emits
+  under the *same* key, so the reduce is a genuine vector accumulation and
+  the shuffle moves ``O(n_tasks * M)`` floats (the heaviest pattern);
+* **checkerboard** — the matrix is tiled into a ``grid_rows x grid_cols``
+  grid; tile ``(i, j)`` contributes a partial slice to row-band ``i``, so
+  each reduce key collects ``grid_cols`` partials (intermediate volume
+  between the striped extremes).
+
+All three produce the same ``y = A @ x``; the tests assert numerical
+agreement and the expected shuffle-volume ordering
+(row < checkerboard < column for tall matrices).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro._validation import require_positive_int
+from repro.core.intensity import IntensityProfile, gemv_intensity
+from repro.runtime.api import Block, MapReduceApp
+
+_Y_KEY = "y"
+
+
+class ColumnGemvApp(MapReduceApp):
+    """Column-striped ``y = A @ x``: one input item per matrix column."""
+
+    name = "gemv-columns"
+
+    def __init__(self, matrix: np.ndarray, vector: np.ndarray) -> None:
+        matrix = np.ascontiguousarray(matrix)
+        vector = np.ascontiguousarray(vector)
+        if matrix.ndim != 2:
+            raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+        if vector.ndim != 1 or vector.shape[0] != matrix.shape[1]:
+            raise ValueError(
+                f"vector shape {vector.shape} incompatible with matrix "
+                f"{matrix.shape}"
+            )
+        self.matrix = matrix
+        self.vector = vector
+        self._intensity = gemv_intensity()
+
+    # ------------------------------------------------------------------
+    def n_items(self) -> int:
+        return self.matrix.shape[1]  # columns
+
+    def item_bytes(self) -> float:
+        return float(self.matrix.shape[0] * self.matrix.itemsize)
+
+    def intensity(self) -> IntensityProfile:
+        return self._intensity
+
+    def map_output_bytes(self, block: Block) -> float:
+        # A full-length partial vector regardless of block width.
+        return float(self.matrix.shape[0] * 8)
+
+    def reduce_flops(self, key: Any, values: list[Any]) -> float:
+        return float(len(values) * self.matrix.shape[0])
+
+    # ------------------------------------------------------------------
+    def cpu_map(self, block: Block) -> list[tuple[Any, Any]]:
+        partial = (
+            self.matrix[:, block.start : block.stop]
+            @ self.vector[block.start : block.stop]
+        ).astype(np.float64)
+        return [(_Y_KEY, partial)]
+
+    def cpu_reduce(self, key: Any, values: list[Any]) -> Any:
+        return np.sum(values, axis=0)
+
+    def combiner(self, key: Any, values: list[Any]) -> Any:
+        return np.sum(values, axis=0)
+
+    # ------------------------------------------------------------------
+    def assemble(self, output: dict[Any, Any]) -> np.ndarray:
+        if _Y_KEY not in output:
+            raise RuntimeError("gemv-columns: result vector missing")
+        return np.asarray(output[_Y_KEY], dtype=np.float64)
+
+    def reference(self) -> np.ndarray:
+        return self.matrix.astype(np.float64) @ self.vector.astype(np.float64)
+
+
+class CheckerboardGemvApp(MapReduceApp):
+    """Checkerboard-tiled ``y = A @ x``: one input item per tile.
+
+    Tiles are numbered row-major over a ``grid_rows x grid_cols`` grid;
+    tile ``(i, j)`` computes ``A[rows_i, cols_j] @ x[cols_j]`` and emits it
+    under key ``i``; reduce sums a row-band's ``grid_cols`` partials.
+    """
+
+    name = "gemv-checkerboard"
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        vector: np.ndarray,
+        grid_rows: int = 4,
+        grid_cols: int = 4,
+    ) -> None:
+        matrix = np.ascontiguousarray(matrix)
+        vector = np.ascontiguousarray(vector)
+        if matrix.ndim != 2:
+            raise ValueError(f"matrix must be 2-D, got shape {matrix.shape}")
+        if vector.ndim != 1 or vector.shape[0] != matrix.shape[1]:
+            raise ValueError(
+                f"vector shape {vector.shape} incompatible with matrix "
+                f"{matrix.shape}"
+            )
+        require_positive_int("grid_rows", grid_rows)
+        require_positive_int("grid_cols", grid_cols)
+        if grid_rows > matrix.shape[0] or grid_cols > matrix.shape[1]:
+            raise ValueError(
+                f"grid {grid_rows}x{grid_cols} finer than matrix "
+                f"{matrix.shape}"
+            )
+        self.matrix = matrix
+        self.vector = vector
+        self.grid_rows = grid_rows
+        self.grid_cols = grid_cols
+        from repro.runtime.partition import partition_range
+
+        self._row_bands = partition_range(matrix.shape[0], grid_rows)
+        self._col_bands = partition_range(matrix.shape[1], grid_cols)
+        self._intensity = gemv_intensity()
+
+    # ------------------------------------------------------------------
+    def tile_of(self, item: int) -> tuple[int, int]:
+        """(row band, column band) of tile id *item*."""
+        return divmod(item, self.grid_cols)
+
+    def n_items(self) -> int:
+        return self.grid_rows * self.grid_cols
+
+    def item_bytes(self) -> float:
+        total = self.matrix.shape[0] * self.matrix.shape[1] * self.matrix.itemsize
+        return float(total / self.n_items())
+
+    def intensity(self) -> IntensityProfile:
+        return self._intensity
+
+    def map_output_bytes(self, block: Block) -> float:
+        # One row-band-length partial per tile in the block.
+        band = self.matrix.shape[0] / self.grid_rows
+        return float(block.n_items * band * 8)
+
+    def reduce_flops(self, key: Any, values: list[Any]) -> float:
+        band = self.matrix.shape[0] / self.grid_rows
+        return float(len(values) * band)
+
+    # ------------------------------------------------------------------
+    def cpu_map(self, block: Block) -> list[tuple[Any, Any]]:
+        pairs: list[tuple[Any, Any]] = []
+        for item in range(block.start, block.stop):
+            i, j = self.tile_of(item)
+            r_lo, r_hi = self._row_bands[i]
+            c_lo, c_hi = self._col_bands[j]
+            partial = (
+                self.matrix[r_lo:r_hi, c_lo:c_hi] @ self.vector[c_lo:c_hi]
+            ).astype(np.float64)
+            pairs.append((i, partial))
+        return pairs
+
+    def cpu_reduce(self, key: Any, values: list[Any]) -> Any:
+        return np.sum(values, axis=0)
+
+    def combiner(self, key: Any, values: list[Any]) -> Any:
+        return np.sum(values, axis=0)
+
+    # ------------------------------------------------------------------
+    def assemble(self, output: dict[Any, Any]) -> np.ndarray:
+        y = np.zeros(self.matrix.shape[0], dtype=np.float64)
+        seen = 0
+        for i, (r_lo, r_hi) in enumerate(self._row_bands):
+            if i not in output:
+                raise RuntimeError(f"gemv-checkerboard: row band {i} missing")
+            y[r_lo:r_hi] = output[i]
+            seen += r_hi - r_lo
+        if seen != self.matrix.shape[0]:
+            raise RuntimeError(
+                f"gemv-checkerboard: assembled {seen} of "
+                f"{self.matrix.shape[0]} rows"
+            )
+        return y
+
+    def reference(self) -> np.ndarray:
+        return self.matrix.astype(np.float64) @ self.vector.astype(np.float64)

@@ -1,0 +1,136 @@
+"""K-means clustering — the paper's comparison algorithm for C-means.
+
+Same MapReduce skeleton as :mod:`repro.apps.cmeans` with hard assignments:
+a map task assigns each point in its block to the nearest center and emits
+per-cluster partial sums and counts; ``update`` recomputes centers.  The
+paper reports "similar performance ratios for Kmeans"; its arithmetic
+intensity is the distance evaluation only (no membership matrix), which we
+model as ``3 * M`` flops/byte.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro._validation import require_positive, require_positive_int
+from repro.core.intensity import IntensityProfile, kmeans_intensity
+from repro.runtime.api import Block, IterativeMapReduceApp
+
+_SSE_KEY = "sse"
+
+
+def nearest_centers(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Index of the nearest center for each point."""
+    x = np.asarray(points, dtype=np.float64)
+    c = np.asarray(centers, dtype=np.float64)
+    d2 = (
+        np.sum(x * x, axis=1)[:, None]
+        - 2.0 * x @ c.T
+        + np.sum(c * c, axis=1)[None, :]
+    )
+    return np.argmin(d2, axis=1)
+
+
+class KMeansApp(IterativeMapReduceApp):
+    """Lloyd's K-means on the PRS runtime."""
+
+    name = "kmeans"
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        n_clusters: int,
+        epsilon: float = 1e-3,
+        max_iterations: int = 20,
+        seed: int = 0,
+    ) -> None:
+        points = np.ascontiguousarray(points)
+        if points.ndim != 2:
+            raise ValueError(f"points must be 2-D, got shape {points.shape}")
+        require_positive_int("n_clusters", n_clusters)
+        if n_clusters > points.shape[0]:
+            raise ValueError(
+                f"n_clusters {n_clusters} exceeds point count {points.shape[0]}"
+            )
+        require_positive("epsilon", epsilon)
+
+        self.points = points
+        self.n_clusters = n_clusters
+        self.epsilon = epsilon
+        self.max_iterations = max_iterations
+
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(points.shape[0], size=n_clusters, replace=False)
+        self.centers = points[idx].astype(np.float64).copy()
+        self._converged = False
+        #: sum of squared errors after each iteration
+        self.sse_history: list[float] = []
+        self._intensity = kmeans_intensity(n_clusters)
+
+    # ------------------------------------------------------------------
+    def n_items(self) -> int:
+        return self.points.shape[0]
+
+    def item_bytes(self) -> float:
+        return float(self.points.shape[1] * self.points.itemsize)
+
+    def intensity(self) -> IntensityProfile:
+        return self._intensity
+
+    def map_output_bytes(self, block: Block) -> float:
+        d = self.points.shape[1]
+        return self.n_clusters * (d * 8.0 + 8.0) + 16.0
+
+    # ------------------------------------------------------------------
+    def cpu_map(self, block: Block) -> list[tuple[Any, Any]]:
+        x = self.points[block.start : block.stop].astype(np.float64)
+        labels = nearest_centers(x, self.centers)
+        pairs: list[tuple[Any, Any]] = []
+        sse = 0.0
+        for j in range(self.n_clusters):
+            mask = labels == j
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            members = x[mask]
+            pairs.append((j, (members.sum(axis=0), count)))
+            sse += float(np.sum((members - self.centers[j]) ** 2))
+        pairs.append((_SSE_KEY, sse))
+        return pairs
+
+    def cpu_reduce(self, key: Any, values: list[Any]) -> Any:
+        if key == _SSE_KEY:
+            return float(sum(values))
+        total = np.sum([v[0] for v in values], axis=0)
+        count = int(sum(v[1] for v in values))
+        return (total, count)
+
+    def combiner(self, key: Any, values: list[Any]) -> Any:
+        return self.cpu_reduce(key, values)
+
+    # ------------------------------------------------------------------
+    def iteration_state(self) -> np.ndarray:
+        return self.centers
+
+    def update(self, reduced: dict[Any, Any]) -> None:
+        new_centers = self.centers.copy()
+        for j in range(self.n_clusters):
+            if j in reduced:
+                total, count = reduced[j]
+                if count > 0:
+                    new_centers[j] = np.asarray(total) / count
+        delta = float(np.max(np.linalg.norm(new_centers - self.centers, axis=1)))
+        self.centers = new_centers
+        if _SSE_KEY in reduced:
+            self.sse_history.append(float(reduced[_SSE_KEY]))
+        self._converged = delta < self.epsilon
+
+    @property
+    def converged(self) -> bool:
+        return self._converged
+
+    def labels(self) -> np.ndarray:
+        """Final hard assignment of every input point."""
+        return nearest_centers(self.points, self.centers)

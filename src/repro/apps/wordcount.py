@@ -1,0 +1,72 @@
+"""Word count — the paper's low-arithmetic-intensity anchor (Figure 4).
+
+"When the target applications have low arithmetic intensity, the
+performance bottleneck is probably the bandwidth of the disk, network or
+DRAM.  For these applications, such as word count, the CPU may provide
+better performance than the GPU."  This app exists to exercise that end of
+the Equation (8) spectrum: with A ~ 0.25 flops/byte the analytic split
+assigns essentially everything to the CPU.
+
+One input item is one document (a token list); map emits ``(word, 1)``
+pairs, the combiner collapses them locally and reduce sums globally.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+import numpy as np
+
+from repro.core.intensity import IntensityProfile, wordcount_intensity
+from repro.runtime.api import Block, MapReduceApp
+
+
+class WordCountApp(MapReduceApp):
+    """Classic word count on PRS."""
+
+    name = "wordcount"
+
+    def __init__(self, documents: list[list[str]]) -> None:
+        if not documents:
+            raise ValueError("documents must be non-empty")
+        self.documents = documents
+        self._avg_bytes = float(
+            np.mean([sum(len(w) + 1 for w in doc) for doc in documents])
+        )
+        self._intensity = wordcount_intensity()
+
+    # ------------------------------------------------------------------
+    def n_items(self) -> int:
+        return len(self.documents)
+
+    def item_bytes(self) -> float:
+        return self._avg_bytes
+
+    def intensity(self) -> IntensityProfile:
+        return self._intensity
+
+    def map_output_bytes(self, block: Block) -> float:
+        # Combined counts: ~vocabulary-sized, not input-sized.
+        return 1024.0
+
+    # ------------------------------------------------------------------
+    def cpu_map(self, block: Block) -> list[tuple[Any, Any]]:
+        counts: Counter[str] = Counter()
+        for doc in self.documents[block.start : block.stop]:
+            counts.update(doc)
+        return [(word, count) for word, count in counts.items()]
+
+    def cpu_reduce(self, key: Any, values: list[Any]) -> Any:
+        return int(sum(values))
+
+    def combiner(self, key: Any, values: list[Any]) -> Any:
+        return int(sum(values))
+
+    # ------------------------------------------------------------------
+    def reference(self) -> dict[str, int]:
+        """Direct count for verification."""
+        counts: Counter[str] = Counter()
+        for doc in self.documents:
+            counts.update(doc)
+        return dict(counts)

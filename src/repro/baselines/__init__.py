@@ -1,0 +1,23 @@
+"""Baseline runtimes for Table 3 (paper §IV.A.1).
+
+Table 3 compares C-means under four runtimes: hand-written **MPI/GPU**
+(one CUDA kernel per node, centers allreduced), **PRS/GPU** (this
+package's runtime, GPU-only), **MPI/CPU** (all cores per node), and
+**Mahout/CPU** (Hadoop-based clustering, disk-bound).  PRS is the full
+discrete-event simulation; the MPI and Mahout baselines are transparent
+closed-form cost models over the same hardware description — they have no
+scheduling decisions to simulate, so a closed form is both honest and
+auditable.
+"""
+
+from repro.baselines.workload import WorkloadSpec
+from repro.baselines.mpi_gpu import MpiGpuBaseline
+from repro.baselines.mpi_cpu import MpiCpuBaseline
+from repro.baselines.mahout import MahoutBaseline
+
+__all__ = [
+    "WorkloadSpec",
+    "MpiGpuBaseline",
+    "MpiCpuBaseline",
+    "MahoutBaseline",
+]

@@ -1,0 +1,74 @@
+"""Mahout-on-Hadoop baseline (the Table 3 ``Mahout/CPU`` row).
+
+Mahout's iterative clustering launches one Hadoop MapReduce job per
+iteration; the dominant costs are not the arithmetic at all:
+
+* per-iteration job startup — JVM spawn, task scheduling, heartbeat
+  latencies (tens of seconds on 2013-era Hadoop);
+* HDFS materialization — the input is re-read from disk every iteration
+  and intermediate/output data is written back;
+* JVM compute efficiency well below native code.
+
+That structure is exactly why the paper measures Mahout "two orders of
+magnitude" slower than MPI/CPU with only a weak dependence on input size
+(541 s at 200k points vs 687 s at 800k: mostly fixed cost).  The defaults
+below reproduce that shape on the Delta presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._validation import require_fraction, require_nonnegative, require_positive
+from repro.baselines.workload import WorkloadSpec
+from repro.hardware.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class MahoutBaseline:
+    """Closed-form Hadoop/Mahout iterative-MapReduce cost model."""
+
+    cluster: Cluster
+    #: per-iteration Hadoop job launch cost in seconds
+    job_startup_s: float = 25.0
+    #: aggregate HDFS read bandwidth per node, GB/s
+    disk_bandwidth: float = 0.1
+    #: JVM arithmetic efficiency vs the native roofline rate
+    jvm_efficiency: float = 0.25
+    #: shuffle + output materialization factor (bytes written+read per
+    #: input byte of intermediate data; clustering intermediates are small
+    #: so this multiplies the state, not the input)
+    shuffle_factor: float = 3.0
+
+    def __post_init__(self) -> None:
+        require_nonnegative("job_startup_s", self.job_startup_s)
+        require_positive("disk_bandwidth", self.disk_bandwidth)
+        require_fraction("jvm_efficiency", self.jvm_efficiency)
+        require_nonnegative("shuffle_factor", self.shuffle_factor)
+
+    def iteration_seconds(self, workload: WorkloadSpec) -> float:
+        cluster = self.cluster
+        p = cluster.n_nodes
+        cpu = cluster.nodes[0].cpu
+
+        node_bytes = workload.total_bytes / p
+        intensity = workload.intensity.at(max(node_bytes, 1.0))
+        node_flops = intensity * node_bytes
+
+        t_read = node_bytes / (self.disk_bandwidth * 1e9)
+        rate = cpu.attainable_gflops(intensity) * self.jvm_efficiency
+        t_compute = node_flops / (rate * 1e9)
+        t_shuffle = (
+            self.shuffle_factor
+            * workload.state_bytes
+            / (self.disk_bandwidth * 1e9)
+        )
+        return self.job_startup_s + t_read + t_compute + t_shuffle
+
+    def run_seconds(self, workload: WorkloadSpec) -> float:
+        return workload.iterations * self.iteration_seconds(workload)
+
+    def gflops_per_node(self, workload: WorkloadSpec) -> float:
+        seconds = self.run_seconds(workload)
+        total_flops = workload.iterations * workload.flops()
+        return total_flops / seconds / 1e9 / self.cluster.n_nodes

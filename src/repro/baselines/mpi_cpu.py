@@ -1,0 +1,53 @@
+"""Hand-written MPI + all-CPU-cores baseline (the Table 3 ``MPI/CPU`` row).
+
+Same structure as :mod:`repro.baselines.mpi_gpu` with the node's CPU
+complex doing the compute at its roofline-attainable rate.  The paper runs
+"two threads for each CPU core with hyper-threading enabled"; on a
+throughput-bound kernel hyper-threading recovers stall cycles rather than
+adding peak, so the aggregate CPU rate is the roofline value with a small
+efficiency factor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro._validation import require_fraction
+from repro.baselines.workload import WorkloadSpec
+from repro.hardware.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class MpiCpuBaseline:
+    """Closed-form MPI + pthreads-on-all-cores runtime model."""
+
+    cluster: Cluster
+    #: fraction of the roofline rate the threaded implementation sustains
+    efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        require_fraction("efficiency", self.efficiency)
+
+    def run_seconds(self, workload: WorkloadSpec) -> float:
+        cluster = self.cluster
+        p = cluster.n_nodes
+        cpu = cluster.nodes[0].cpu
+
+        node_bytes = workload.total_bytes / p
+        intensity = workload.intensity.at(max(node_bytes, 1.0))
+        node_flops = intensity * node_bytes
+
+        rate = cpu.attainable_gflops(intensity) * self.efficiency
+        t_compute = node_flops / (rate * 1e9)
+
+        rounds = 2 * max(1, math.ceil(math.log2(p))) if p > 1 else 0
+        t_comm = rounds * cluster.network.point_to_point_time(
+            workload.state_bytes
+        )
+        return workload.iterations * (t_compute + t_comm)
+
+    def gflops_per_node(self, workload: WorkloadSpec) -> float:
+        seconds = self.run_seconds(workload)
+        total_flops = workload.iterations * workload.flops()
+        return total_flops / seconds / 1e9 / self.cluster.n_nodes

@@ -1,0 +1,62 @@
+"""Hand-written MPI + CUDA baseline (the Table 3 ``MPI/GPU`` row).
+
+Cost model per iteration, per node (one GPU each, the paper's setup):
+
+* kernel: the node's byte slice at the roofline-attainable GPU rate —
+  resident (DRAM-only) for iterative apps whose input is cached after the
+  first pass, staged (PCI-E + DRAM) otherwise;
+* allreduce of the iteration state: binomial reduce + broadcast,
+  ``2 ceil(log2 P)`` alpha/beta messages.
+
+No runtime overheads: this is the "bare metal" comparator PRS pays its
+programmability tax against.  Following the paper's timing convention the
+one-off initial staging of iterative apps is excluded by default
+(``include_staging``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.baselines.workload import WorkloadSpec
+from repro.hardware.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class MpiGpuBaseline:
+    """Closed-form MPI+CUDA runtime model."""
+
+    cluster: Cluster
+    include_staging: bool = False
+
+    def run_seconds(self, workload: WorkloadSpec) -> float:
+        cluster = self.cluster
+        p = cluster.n_nodes
+        node = cluster.nodes[0]
+        gpu = node.gpu
+
+        node_bytes = workload.total_bytes / p
+        intensity = workload.intensity.at(max(node_bytes, 1.0))
+        node_flops = intensity * node_bytes
+
+        staged = not workload.resident
+        rate = gpu.attainable_gflops(intensity, staged=staged)
+        t_kernel = node_flops / (rate * 1e9)
+
+        rounds = 2 * max(1, math.ceil(math.log2(p))) if p > 1 else 0
+        t_comm = rounds * cluster.network.point_to_point_time(
+            workload.state_bytes
+        )
+
+        total = workload.iterations * (t_kernel + t_comm)
+        if self.include_staging and workload.resident:
+            assert gpu.pcie_bandwidth is not None
+            total += node_bytes / (gpu.pcie_bandwidth * 1e9)
+        return total
+
+    def gflops_per_node(self, workload: WorkloadSpec) -> float:
+        """Achieved GFLOP/s per node over the modelled run."""
+        seconds = self.run_seconds(workload)
+        total_flops = workload.iterations * workload.flops()
+        return total_flops / seconds / 1e9 / self.cluster.n_nodes

@@ -1,0 +1,231 @@
+"""The paper's quantitative claims, as a machine-checkable registry.
+
+Every measurable statement in the paper that this reproduction covers is
+catalogued here with where it is verified — a unit/integration test, a
+benchmark assertion, or both.  ``python -m repro claims`` prints the table;
+the test suite checks the registry's integrity (unique ids, existing
+verification files), so EXPERIMENTS.md cannot silently drift from what the
+code actually asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One verifiable statement from the paper."""
+
+    #: short stable identifier, e.g. ``"T5-analytic"``
+    id: str
+    #: paper section / artefact the claim comes from
+    source: str
+    #: the claim, quoted or paraphrased
+    statement: str
+    #: what this reproduction measures
+    reproduced: str
+    #: repo-relative files whose assertions verify the claim
+    verified_by: tuple[str, ...]
+
+
+CLAIMS: tuple[Claim, ...] = (
+    Claim(
+        id="T5-analytic",
+        source="Table 5",
+        statement="Equation (8) yields p = 97.3% (GEMV), 11.2% (C-means), "
+                  "11.2% (GMM) on a Delta node",
+        reproduced="97.2% / 11.2% / 11.2% with data-sheet presets plus one "
+                   "calibrated PCI-E parameter",
+        verified_by=(
+            "tests/core/test_analytic.py",
+            "benchmarks/bench_table5_workload_split.py",
+        ),
+    ),
+    Claim(
+        id="T5-error",
+        source="Table 5 / §IV.B",
+        statement="error between analytic and profiled p is less than 10%",
+        reproduced="worst simulated gap 0.8 points of fraction",
+        verified_by=("benchmarks/bench_table5_workload_split.py",),
+    ),
+    Claim(
+        id="T3-ordering",
+        source="Table 3",
+        statement="MPI/GPU < PRS/GPU < MPI/CPU << Mahout at every size; "
+                  "Mahout ~ two orders of magnitude above MPI",
+        reproduced="same ordering at 200k/400k/800k points; Mahout cost "
+                   "nearly size-independent",
+        verified_by=(
+            "tests/baselines/test_baselines.py",
+            "benchmarks/bench_table3_cmeans_runtimes.py",
+        ),
+    ),
+    Claim(
+        id="F3-ridges",
+        source="Figure 3",
+        statement="CPU and GPU have drastically different ridge points",
+        reproduced="A_cr = 4.06 vs A_gr(staged) = 1115 flops/byte (275x)",
+        verified_by=(
+            "tests/core/test_roofline.py",
+            "benchmarks/bench_fig3_roofline.py",
+        ),
+    ),
+    Claim(
+        id="F4-spectrum",
+        source="Figure 4 / §III.B.3a",
+        statement="low-AI apps favour the CPU, high-AI apps the GPU, across "
+                  "three regimes of Equation (8)",
+        reproduced="CPU share falls monotonically from 99.9% (log analysis) "
+                   "to 11.2% (GMM); all regimes present",
+        verified_by=(
+            "tests/core/test_analytic.py",
+            "benchmarks/bench_fig4_intensity.py",
+        ),
+    ),
+    Claim(
+        id="F5-quality",
+        source="Figure 5 / §IV.A.1",
+        statement="DA gives the best clustering quality; C-means a little "
+                  "better than K-means in both metrics",
+        reproduced="DA 0.999 overlap in one run; C-means mean-over-seeds "
+                   "0.959 vs K-means 0.867 (best-of ties at 0.999)",
+        verified_by=("benchmarks/bench_fig5_clustering_quality.py",),
+    ),
+    Claim(
+        id="F6-weak-scaling",
+        source="Figure 6 / §IV.B",
+        statement="near-linear weak scaling; per-node rate droops slightly "
+                  "at 8 nodes from the global reduction",
+        reproduced="per-node GFLOP/s flat within a few percent, droop "
+                   "present and mild",
+        verified_by=(
+            "tests/integration/test_paper_apps.py",
+            "benchmarks/bench_fig6_weak_scaling.py",
+        ),
+    ),
+    Claim(
+        id="F6-gains",
+        source="§IV (summary)",
+        statement="co-processing gains: +1011.8% (GEMV), +11.56% (C-means), "
+                  "+15.4% (GMM) over GPU-only",
+        reproduced="~34x / +13% / +12% (GEMV's analytic ceiling is ~36x; "
+                   "the paper's measured 11x corresponds to its profiled "
+                   "p = 90.8%)",
+        verified_by=(
+            "tests/integration/test_paper_apps.py",
+            "benchmarks/bench_fig6_weak_scaling.py",
+        ),
+    ),
+    Claim(
+        id="S-streams",
+        source="§III.B.3b",
+        statement="streams only help when transfer and compute overheads "
+                  "are similar; blocks must exceed MinBs (Equation 11)",
+        reproduced="simulated stream win peaks at op ~ 0.5 (1.7x) and "
+                   "vanishes at both extremes; MinBs gate enforced",
+        verified_by=(
+            "tests/core/test_granularity.py",
+            "tests/simulate/test_streams.py",
+            "benchmarks/bench_ablation_streams.py",
+        ),
+    ),
+    Claim(
+        id="S-region-memory",
+        source="§III.C.2",
+        statement="aggregated malloc overhead degrades performance under "
+                  "many small allocations; regions amortize it and free in "
+                  "bulk",
+        reproduced="12500x fewer backing allocations at 1e5 objects; live "
+                   "PRS word-count job ~1200x faster with regions",
+        verified_by=(
+            "tests/runtime/test_memory.py",
+            "benchmarks/bench_ablation_memory.py",
+        ),
+    ),
+    Claim(
+        id="S-iterative-cache",
+        source="§III.C.3 / §IV.B",
+        statement="loop-invariant data cached in GPU memory: staging is a "
+                  "one-off cost amortized over iterations",
+        reproduced="iteration 0 pays PCI-E once; cached job 4.8x faster "
+                   "than per-iteration re-staging",
+        verified_by=(
+            "tests/runtime/test_prs.py",
+            "benchmarks/bench_ablation_iterative.py",
+        ),
+    ),
+    Claim(
+        id="S-context",
+        source="§III.C.3",
+        statement="per-task GPU contexts are expensive and defeat caching; "
+                  "PRS funnels all GPU work through one daemon context",
+        reproduced="per-task contexts 27x slower (context cost + cache "
+                   "loss, separable in the ablation)",
+        verified_by=(
+            "tests/runtime/test_gpu_context.py",
+            "benchmarks/bench_ablation_context.py",
+        ),
+    ),
+    Claim(
+        id="S-no-profiling",
+        source="§II.B",
+        statement="the analytic model introduces no overhead: no test jobs, "
+                  "no profiling database (contrast: Qilin)",
+        reproduced="Qilin-style mapper converges to the same p but spends "
+                   "74-271% of a job on training first",
+        verified_by=(
+            "tests/core/test_adaptive.py",
+            "benchmarks/bench_ablation_adaptive.py",
+        ),
+    ),
+    Claim(
+        id="S-scheduling",
+        source="§III.B.2",
+        statement="static (analytic) and dynamic (polling) strategies both "
+                  "provided; dynamic block sizing is non-trivial",
+        reproduced="static matches the best tuned dynamic config without "
+                   "tuning; block-count sweep shows the U-curve; dynamic "
+                   "absorbs model mis-calibration",
+        verified_by=(
+            "tests/runtime/test_prs.py",
+            "tests/integration/test_extensions.py",
+            "benchmarks/bench_ablation_sched.py",
+        ),
+    ),
+    Claim(
+        id="X-kmeans",
+        source="§IV.A.1",
+        statement="similar performance ratios for K-means",
+        reproduced="CPU/GPU ratio and co-processing gain within tolerance "
+                   "of C-means'",
+        verified_by=("tests/integration/test_extensions.py",),
+    ),
+    Claim(
+        id="X-future-work",
+        source="§V",
+        statement="future work: network-aware model (a), other "
+                  "accelerators (b), heterogeneous fat nodes (c)",
+        reproduced="all three implemented: NIC-capped split, Xeon Phi "
+                   "preset, weighted node partitioning",
+        verified_by=(
+            "tests/core/test_network_aware.py",
+            "tests/hardware/test_mic.py",
+            "tests/core/test_analytic.py",
+        ),
+    ),
+)
+
+
+def claims_table() -> str:
+    """Render the registry (the CLI's ``claims`` subcommand)."""
+    from repro.analysis.tables import format_table
+
+    rows = [
+        [c.id, c.source, c.statement[:58], c.reproduced[:58]] for c in CLAIMS
+    ]
+    return format_table(
+        ["id", "source", "claim", "reproduced"],
+        rows,
+        title=f"paper claims tracked: {len(CLAIMS)}",
+    )

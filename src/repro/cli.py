@@ -1,0 +1,316 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands expose the library without writing code:
+
+``advise``
+    Print the analytic scheduling plan (Equations 8-11) for an application
+    on a hardware preset — the paper's "automatic scheduling plan" output.
+
+``roofline``
+    Print roofline samples and ridge points for a preset node's devices
+    (Figure 3 as text).
+
+``run``
+    Run one of the built-in applications on a simulated preset cluster and
+    print the job summary (split, makespan, throughput, per-device
+    utilization).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.analytic import workload_split
+from repro.core.granularity import (
+    min_block_size,
+    overlap_percentage,
+    should_use_streams,
+)
+from repro.core.intensity import (
+    ConstantIntensity,
+    IntensityProfile,
+    cmeans_intensity,
+    dgemm_intensity,
+    gemv_intensity,
+    gmm_intensity,
+    kmeans_intensity,
+    wordcount_intensity,
+)
+from repro.core.roofline import RooflineModel
+from repro.hardware import (
+    bigred2_cluster,
+    bigred2_node,
+    delta_cluster,
+    delta_node,
+    mic_node,
+)
+from repro.hardware.cluster import Cluster, NetworkSpec
+from repro.hardware.node import FatNode
+
+NODE_PRESETS: dict[str, Callable[[], FatNode]] = {
+    "delta": lambda: delta_node(n_gpus=1),
+    "bigred2": bigred2_node,
+    "mic": mic_node,
+}
+
+
+def _cluster_for(preset: str, n_nodes: int) -> Cluster:
+    if preset == "delta":
+        return delta_cluster(n_nodes=n_nodes)
+    if preset == "bigred2":
+        return bigred2_cluster(n_nodes=n_nodes)
+    nodes = tuple(
+        FatNode(name=f"{preset}{i:02d}", cpu=NODE_PRESETS[preset]().cpu,
+                gpus=NODE_PRESETS[preset]().gpus)
+        for i in range(n_nodes)
+    )
+    return Cluster(name=preset, nodes=nodes,
+                   network=NetworkSpec(latency=2e-6, bandwidth=3.2))
+
+
+def _app_intensity(name: str, custom: float | None) -> tuple[str, IntensityProfile, bool]:
+    """(label, profile, resident) for a named application."""
+    if custom is not None:
+        return (f"custom(A={custom})", ConstantIntensity(custom), False)
+    table = {
+        "wordcount": (wordcount_intensity(), False),
+        "gemv": (gemv_intensity(), False),
+        "kmeans": (kmeans_intensity(10), True),
+        "cmeans": (cmeans_intensity(100), True),
+        "gmm": (gmm_intensity(10, 60), True),
+        "dgemm": (dgemm_intensity(), False),
+    }
+    if name not in table:
+        raise SystemExit(
+            f"unknown app {name!r}; choose from {sorted(table)} or pass "
+            "--intensity"
+        )
+    profile, resident = table[name]
+    return name, profile, resident
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    node = NODE_PRESETS[args.node]()
+    label, profile, resident = _app_intensity(args.app, args.intensity)
+    if args.resident:
+        resident = True
+    staged = not resident
+
+    decision = workload_split(
+        node, profile, staged=staged, partition_bytes=args.partition_bytes
+    )
+    gpu_bytes = args.partition_bytes * decision.gpu_fraction
+    op = overlap_percentage(node.gpu, profile, max(gpu_bytes, 1.0))
+    streams = should_use_streams(node.gpu, profile, max(gpu_bytes, 1.0))
+    try:
+        minbs = f"{min_block_size(node.gpu, profile):.3e} B"
+    except ValueError:
+        minbs = "unreachable (bandwidth-bound at every size)"
+
+    print(f"scheduling plan: {label} on one {node.name} node")
+    print(f"  arithmetic intensity : {profile.at(args.partition_bytes):.4g} flops/B")
+    print(f"  data placement       : {'resident in GPU memory' if resident else 'staged via PCI-E'}")
+    print(f"  regime (eq 8)        : {decision.regime.value}")
+    print(f"  CPU share p          : {decision.p:.1%}")
+    print(f"  GPU share 1-p        : {decision.gpu_fraction:.1%}")
+    print(f"  attainable F_c / F_g : {decision.cpu_rate:.1f} / {decision.gpu_rate:.1f} GFLOP/s")
+    print(f"  overlap op (eq 9)    : {op:.2f}")
+    print(f"  launch CUDA streams  : {'yes' if streams else 'no'}")
+    print(f"  MinBs (eq 11)        : {minbs}")
+    return 0
+
+
+def cmd_roofline(args: argparse.Namespace) -> int:
+    node = NODE_PRESETS[args.node]()
+    models = [
+        ("CPU", RooflineModel(node.cpu)),
+        ("GPU staged", RooflineModel(node.gpu, staged=True)),
+        ("GPU resident", RooflineModel(node.gpu, staged=False)),
+    ]
+    rows = []
+    for ai_exp in range(-2, 13, 2):
+        ai = 2.0**ai_exp
+        rows.append([f"{ai:g}"] + [f"{m.attainable(ai):.2f}" for _, m in models])
+    print(
+        format_table(
+            ["A (flops/B)"] + [name for name, _ in models],
+            rows,
+            title=f"roofline of one {node.name} node (GFLOP/s)",
+        )
+    )
+    ridge_rows = [
+        [name, f"{m.peak:.0f}", f"{m.bandwidth:.2f}", f"{m.ridge:.2f}"]
+        for name, m in models
+    ]
+    print()
+    print(format_table(["device", "peak", "B_eff GB/s", "ridge A"], ridge_rows))
+    return 0
+
+
+def cmd_claims(args: argparse.Namespace) -> int:
+    from repro.claims import claims_table
+
+    print(claims_table())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.runtime.job import JobConfig, Scheduling
+    from repro.runtime.prs import PRSRuntime
+
+    cluster = _cluster_for(args.node, args.nodes)
+    app = _build_app(args)
+    config = JobConfig(
+        scheduling=Scheduling(args.scheduling),
+        use_cpu=not args.gpu_only,
+        use_gpu=not args.cpu_only,
+    )
+    result = PRSRuntime(cluster, config).run(app)
+
+    if args.json:
+        import json
+
+        payload = {
+            "app": app.name,
+            "n_items": app.n_items(),
+            "cluster": {"preset": args.node, "nodes": cluster.n_nodes},
+            "devices": config.devices_label(),
+            "iterations": result.iterations,
+            "makespan_s": result.makespan,
+            "gflops": result.gflops,
+            "gflops_per_node": result.gflops_per_node(cluster.n_nodes),
+            "network_bytes": result.network_bytes,
+            "splits": [
+                {"p": s.p, "regime": s.regime.value} for s in result.splits
+            ],
+            "device_summary": result.trace.summary(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    if args.report:
+        from repro.analysis.report import render_report
+
+        print(render_report(result, cluster, gantt=True))
+        return 0
+
+    print(f"app            : {app.name} ({app.n_items()} items)")
+    print(f"cluster        : {cluster.n_nodes}x {args.node}")
+    print(f"devices        : {config.devices_label()}")
+    if result.splits:
+        split = result.splits[0]
+        print(f"split (eq 8)   : CPU {split.p:.1%} [{split.regime.value}]")
+    print(f"iterations     : {result.iterations}")
+    print(f"makespan       : {result.makespan * 1e3:.3f} ms (simulated)")
+    print(f"throughput     : {result.gflops:.2f} GFLOP/s "
+          f"({result.gflops_per_node(cluster.n_nodes):.2f}/node)")
+    print(f"network        : {result.network_bytes / 1e6:.3f} MB shuffled")
+    return 0
+
+
+def _build_app(args: argparse.Namespace):
+    from repro.apps.cmeans import CMeansApp
+    from repro.apps.gemv import GemvApp
+    from repro.apps.gmm import GMMApp
+    from repro.apps.kmeans import KMeansApp
+    from repro.apps.wordcount import WordCountApp
+    from repro.data.synth import (
+        gaussian_mixture,
+        random_matrix,
+        random_vector,
+        text_corpus,
+    )
+
+    n = args.size
+    if args.app == "cmeans":
+        pts, _, _ = gaussian_mixture(n, args.dims, args.clusters, seed=args.seed)
+        return CMeansApp(pts, args.clusters, seed=args.seed,
+                         max_iterations=args.iterations)
+    if args.app == "kmeans":
+        pts, _, _ = gaussian_mixture(n, args.dims, args.clusters, seed=args.seed)
+        return KMeansApp(pts, args.clusters, seed=args.seed,
+                         max_iterations=args.iterations)
+    if args.app == "gmm":
+        pts, _, _ = gaussian_mixture(n, args.dims, args.clusters, seed=args.seed)
+        return GMMApp(pts, args.clusters, seed=args.seed,
+                      max_iterations=args.iterations)
+    if args.app == "gemv":
+        a = random_matrix(n, args.dims, seed=args.seed)
+        return GemvApp(a, random_vector(args.dims, seed=args.seed + 1))
+    if args.app == "wordcount":
+        return WordCountApp(text_corpus(n, seed=args.seed))
+    raise SystemExit(f"unknown app {args.app!r}")
+
+
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PRS reproduction: analytic CPU/GPU scheduling and the "
+        "simulated heterogeneous MapReduce runtime",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    advise = sub.add_parser("advise", help="print the Equation 8-11 plan")
+    advise.add_argument("--node", choices=sorted(NODE_PRESETS), default="delta")
+    advise.add_argument("--app", default="cmeans")
+    advise.add_argument("--intensity", type=float, default=None,
+                        help="custom arithmetic intensity (flops/byte)")
+    advise.add_argument("--resident", action="store_true",
+                        help="input cached in GPU memory (iterative apps)")
+    advise.add_argument("--partition-bytes", type=float, default=256e6)
+    advise.set_defaults(func=cmd_advise)
+
+    roofline = sub.add_parser("roofline", help="print device rooflines")
+    roofline.add_argument("--node", choices=sorted(NODE_PRESETS), default="delta")
+    roofline.set_defaults(func=cmd_roofline)
+
+    claims = sub.add_parser(
+        "claims", help="list the paper claims this reproduction verifies"
+    )
+    claims.set_defaults(func=cmd_claims)
+
+    run = sub.add_parser("run", help="run a built-in app on a simulated cluster")
+    run.add_argument("--app", default="cmeans",
+                     choices=["cmeans", "kmeans", "gmm", "gemv", "wordcount"])
+    run.add_argument("--node", choices=sorted(NODE_PRESETS), default="delta")
+    run.add_argument("--nodes", type=int, default=4)
+    run.add_argument("--size", type=int, default=20_000,
+                     help="points / rows / documents")
+    run.add_argument("--dims", type=int, default=16)
+    run.add_argument("--clusters", type=int, default=5)
+    run.add_argument("--iterations", type=int, default=10)
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--scheduling", choices=["static", "dynamic"],
+                     default="static")
+    group = run.add_mutually_exclusive_group()
+    group.add_argument("--gpu-only", action="store_true")
+    group.add_argument("--cpu-only", action="store_true")
+    run.add_argument("--report", action="store_true",
+                     help="print the full post-run report (devices, "
+                          "iterations, timeline)")
+    run.add_argument("--json", action="store_true",
+                     help="emit the job result as JSON")
+    run.set_defaults(func=cmd_run)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,427 @@
+"""An mpi4py-flavoured communicator whose ranks are simulated processes.
+
+:class:`World` owns one mailbox per (destination, source, tag) triple;
+:class:`RankComm` is the per-rank handle exposing ``send``/``recv`` and the
+collectives.  All methods are *process fragments*: call them with
+``yield from comm.send(...)`` inside a DES process.
+
+Semantics follow MPI closely where it matters to the runtime:
+
+* ``send`` is eager/buffered (returns after charging the wire time; the
+  payload is then in flight) — matching mpi4py's pickle-path ``send`` for
+  the modest message sizes PRS exchanges;
+* ``recv`` blocks until a matching message arrives; messages between one
+  (source, destination, tag) pair are non-overtaking, as MPI guarantees;
+* collectives are built from point-to-point binomial trees, so their
+  simulated cost emerges from message timing rather than being asserted.
+
+Message timing: a message of ``n`` bytes from one node to another becomes
+visible to the receiver ``latency + n/bandwidth`` seconds after the send;
+rank-local messages (same node) are free.  Payloads are passed by
+reference — the simulation is single-process, and the runtime treats
+received arrays as read-only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+import numpy as np
+
+from repro._validation import require_nonnegative_int
+from repro.hardware.cluster import NetworkSpec
+from repro.simulate.engine import Engine, Event
+from repro.simulate.resources import Store
+from repro.simulate.trace import Trace
+
+#: Fallback size estimate for payloads we cannot introspect.
+_DEFAULT_OBJECT_BYTES = 64.0
+
+
+def payload_nbytes(obj: Any) -> float:
+    """Wire-size estimate (bytes) of a message payload.
+
+    NumPy arrays report their exact buffer size; containers are summed
+    recursively with a small per-item framing overhead; scalars cost a
+    machine word.  This mirrors what mpi4py's buffer path would move.
+    """
+    if obj is None:
+        return 0.0
+    if isinstance(obj, np.ndarray):
+        return float(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return float(len(obj))
+    if isinstance(obj, str):
+        return float(len(obj.encode("utf-8")))
+    if isinstance(obj, (bool, int, float, complex, np.generic)):
+        return 8.0
+    if isinstance(obj, dict):
+        return sum(
+            payload_nbytes(k) + payload_nbytes(v) + 8.0 for k, v in obj.items()
+        )
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return sum(payload_nbytes(item) + 8.0 for item in obj)
+    nbytes = getattr(obj, "nbytes", None)
+    if isinstance(nbytes, (int, float)):
+        return float(nbytes)
+    return _DEFAULT_OBJECT_BYTES
+
+
+class World:
+    """The communicator group: ``size`` ranks over one network spec.
+
+    Parameters
+    ----------
+    engine:
+        The DES engine all ranks run on.
+    size:
+        Number of ranks.
+    network:
+        Interconnect parameters; defaults to a fast LAN.
+    node_of:
+        Optional mapping from rank to physical node index; ranks on the
+        same node exchange messages for free.  Defaults to one rank per
+        node.
+    trace:
+        Optional :class:`Trace` receiving a ``net`` record per message.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        size: int,
+        network: NetworkSpec | None = None,
+        node_of: Callable[[int], int] | None = None,
+        trace: Trace | None = None,
+        contended: bool = False,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"world size must be >= 1, got {size}")
+        self.engine = engine
+        self.size = size
+        self.network = network if network is not None else NetworkSpec()
+        self.node_of = node_of if node_of is not None else (lambda rank: rank)
+        self.trace = trace
+        #: model per-node ingress NIC contention: concurrent messages into
+        #: one rank serialize on its link (the gather-hotspot effect).
+        #: Egress is already serial — a rank's sends occupy its process.
+        self.contended = contended
+        self._ingress: dict[int, "Link"] = {}
+        if contended:
+            from repro.simulate.resources import Link
+
+            for rank in range(size):
+                self._ingress[rank] = Link(
+                    engine,
+                    bandwidth_gbps=self.network.bandwidth,
+                    latency=self.network.latency,
+                    name=f"nic{rank}",
+                )
+        self._mailboxes: dict[tuple[int, int, int], Store] = {}
+        #: aggregate message accounting for reports
+        self.messages_sent = 0
+        self.bytes_sent = 0.0
+
+    def comm(self, rank: int) -> "RankComm":
+        """The per-rank handle for *rank*."""
+        require_nonnegative_int("rank", rank)
+        if rank >= self.size:
+            raise ValueError(f"rank {rank} out of range for size {self.size}")
+        return RankComm(self, rank)
+
+    def comms(self) -> list["RankComm"]:
+        return [self.comm(r) for r in range(self.size)]
+
+    # ------------------------------------------------------------------
+    def _mailbox(self, dest: int, src: int, tag: int) -> Store:
+        key = (dest, src, tag)
+        box = self._mailboxes.get(key)
+        if box is None:
+            box = Store(self.engine, name=f"mbox{key}")
+            self._mailboxes[key] = box
+        return box
+
+    def wire_time(self, src: int, dest: int, nbytes: float) -> float:
+        """Seconds for *nbytes* from rank *src* to rank *dest*."""
+        if self.node_of(src) == self.node_of(dest):
+            return 0.0
+        return self.network.point_to_point_time(nbytes)
+
+
+class RankComm:
+    """One rank's view of the world (mirrors a tiny slice of mpi4py)."""
+
+    def __init__(self, world: World, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    @property
+    def engine(self) -> Engine:
+        return self.world.engine
+
+    # ------------------------------------------------------------------
+    # Point-to-point
+    # ------------------------------------------------------------------
+    def send(
+        self, payload: Any, dest: int, tag: int = 0
+    ) -> Generator[Event, Any, None]:
+        """Eager send: charge the wire time, then deposit at *dest*."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"dest {dest} out of range")
+        nbytes = payload_nbytes(payload)
+        start = self.engine.now
+        same_node = self.world.node_of(self.rank) == self.world.node_of(dest)
+        if not same_node:
+            if self.world.contended:
+                # Serialize on the destination's ingress NIC.
+                yield from self.world._ingress[dest].transfer(nbytes)
+            else:
+                delay = self.world.wire_time(self.rank, dest, nbytes)
+                if delay > 0:
+                    yield self.engine.timeout(delay)
+        if self.world.trace is not None:
+            self.world.trace.record(
+                f"msg r{self.rank}->r{dest} t{tag}",
+                f"net.r{self.rank}",
+                "net",
+                start,
+                self.engine.now,
+                nbytes=nbytes,
+            )
+        self.world.messages_sent += 1
+        self.world.bytes_sent += nbytes
+        self.world._mailbox(dest, self.rank, tag).put(payload)
+
+    def recv(self, source: int, tag: int = 0) -> Generator[Event, Any, Any]:
+        """Blocking receive of the next message from (*source*, *tag*)."""
+        if not 0 <= source < self.size:
+            raise ValueError(f"source {source} out of range")
+        payload = yield self.world._mailbox(self.rank, source, tag).get()
+        return payload
+
+    # ------------------------------------------------------------------
+    # Collectives (binomial trees rooted at *root*)
+    # ------------------------------------------------------------------
+    def _vrank(self, rank: int, root: int) -> int:
+        return (rank - root) % self.size
+
+    def _rrank(self, vrank: int, root: int) -> int:
+        return (vrank + root) % self.size
+
+    def bcast(
+        self, payload: Any, root: int = 0, tag: int = -1
+    ) -> Generator[Event, Any, Any]:
+        """Binomial-tree broadcast; every rank returns the payload.
+
+        The classic MPICH algorithm: a non-root rank receives from the
+        parent that differs in its highest relevant bit, then forwards to
+        the ranks below it in the tree.
+        """
+        me = self._vrank(self.rank, root)
+        size = self.size
+        if size == 1:
+            return payload
+        mask = 1
+        while mask < size:
+            if me & mask:
+                parent = self._rrank(me - mask, root)
+                payload = yield from self.recv(parent, tag)
+                break
+            mask <<= 1
+        mask >>= 1
+        while mask > 0:
+            if me + mask < size:
+                yield from self.send(payload, self._rrank(me + mask, root), tag)
+            mask >>= 1
+        return payload
+
+    def reduce(
+        self,
+        payload: Any,
+        op: Callable[[Any, Any], Any],
+        root: int = 0,
+        tag: int = -2,
+    ) -> Generator[Event, Any, Any]:
+        """Binomial-tree reduction; returns the result at *root*, else None.
+
+        *op* must be associative and commutative (e.g. ``operator.add`` or
+        ``np.add``); reduction order follows the tree.
+        """
+        me = self._vrank(self.rank, root)
+        size = self.size
+        acc = payload
+        bit = 1
+        while bit < size:
+            if me & bit:
+                parent = self._rrank(me & ~bit, root)
+                yield from self.send(acc, parent, tag)
+                return None
+            partner = me | bit
+            if partner < size:
+                other = yield from self.recv(self._rrank(partner, root), tag)
+                acc = op(acc, other)
+            bit <<= 1
+        return acc if me == 0 else None
+
+    def allreduce(
+        self, payload: Any, op: Callable[[Any, Any], Any], tag: int = -3
+    ) -> Generator[Event, Any, Any]:
+        """Reduce to rank 0 then broadcast (every rank returns the result)."""
+        reduced = yield from self.reduce(payload, op, root=0, tag=tag)
+        result = yield from self.bcast(reduced, root=0, tag=tag - 100)
+        return result
+
+    def allreduce_ring(
+        self, payload: "np.ndarray", tag: int = -9
+    ) -> Generator[Event, Any, "np.ndarray"]:
+        """Segmented ring allreduce (sum) for NumPy arrays.
+
+        The classic bandwidth-optimal algorithm: split the array into
+        ``P`` segments; a reduce-scatter phase circulates accumulating
+        segments for ``P-1`` steps, then an allgather phase circulates the
+        finished segments for another ``P-1`` steps.  Every step moves
+        only ``1/P`` of the data and all ring links work concurrently, so
+        total time approaches ``2 * nbytes / bandwidth`` — independent of
+        ``P`` — versus the binomial tree's ``2 ceil(log2 P)`` full-payload
+        rounds.  The tree (:meth:`allreduce`) stays preferable for small
+        payloads, where its fewer latency terms dominate.
+        """
+        if not isinstance(payload, np.ndarray):
+            raise TypeError("allreduce_ring requires a numpy array")
+        size = self.size
+        if size == 1:
+            return payload.copy()
+        right = (self.rank + 1) % size
+        left = (self.rank - 1) % size
+
+        flat = payload.reshape(-1).astype(np.float64, copy=True)
+        bounds = np.linspace(0, flat.size, size + 1).astype(int)
+
+        def segment(i: int) -> slice:
+            i %= size
+            return slice(bounds[i], bounds[i + 1])
+
+        # Reduce-scatter: after step s, rank r has accumulated segment
+        # (r - s - 1); after P-1 steps it owns segment (r + 1) fully.
+        for step in range(size - 1):
+            send_idx = self.rank - step
+            recv_idx = self.rank - step - 1
+            yield from self.send(
+                flat[segment(send_idx)].copy(), right, tag + step
+            )
+            incoming = yield from self.recv(left, tag + step)
+            flat[segment(recv_idx)] += incoming
+
+        # Allgather: circulate the finished segments.
+        for step in range(size - 1):
+            send_idx = self.rank + 1 - step
+            recv_idx = self.rank - step
+            yield from self.send(
+                flat[segment(send_idx)].copy(), right, tag + size + step
+            )
+            incoming = yield from self.recv(left, tag + size + step)
+            flat[segment(recv_idx)] = incoming
+
+        return flat.reshape(payload.shape)
+
+    def gather(
+        self, payload: Any, root: int = 0, tag: int = -4
+    ) -> Generator[Event, Any, Any]:
+        """Linear gather: root returns the rank-ordered list, others None."""
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = payload
+            for src in range(self.size):
+                if src == root:
+                    continue
+                out[src] = yield from self.recv(src, tag)
+            return out
+        yield from self.send(payload, root, tag)
+        return None
+
+    def scatter(
+        self, payloads: list[Any] | None, root: int = 0, tag: int = -5
+    ) -> Generator[Event, Any, Any]:
+        """Linear scatter: each rank returns its slot of root's list."""
+        if self.rank == root:
+            if payloads is None or len(payloads) != self.size:
+                raise ValueError(
+                    f"root must pass exactly {self.size} payloads"
+                )
+            for dest in range(self.size):
+                if dest == root:
+                    continue
+                yield from self.send(payloads[dest], dest, tag)
+            return payloads[root]
+        item = yield from self.recv(root, tag)
+        return item
+
+    def allgather(self, payload: Any, tag: int = -6) -> Generator[Event, Any, Any]:
+        """Gather at rank 0 + broadcast of the list."""
+        gathered = yield from self.gather(payload, root=0, tag=tag)
+        result = yield from self.bcast(gathered, root=0, tag=tag - 100)
+        return result
+
+    def alltoall(
+        self, payloads: list[Any], tag: int = -8
+    ) -> Generator[Event, Any, list[Any]]:
+        """Personalized all-to-all: rank ``i`` sends ``payloads[j]`` to
+        rank ``j`` and returns the list of what every rank sent *it*.
+
+        This is the PRS shuffle primitive ("the PRS scheduler shuffles all
+        intermediate key/value pairs across the cluster").  The exchange
+        uses the standard pairwise pattern: in round ``r`` each rank
+        exchanges with ``rank XOR r`` — ``P-1`` rounds, no root hotspot.
+        """
+        if len(payloads) != self.size:
+            raise ValueError(
+                f"alltoall needs exactly {self.size} payloads, got "
+                f"{len(payloads)}"
+            )
+        result: list[Any] = [None] * self.size
+        result[self.rank] = payloads[self.rank]
+        size = self.size
+        # Pad the round count to the next power of two so XOR pairing is a
+        # valid permutation; partners >= size simply skip the round.
+        rounds = 1
+        while rounds < size:
+            rounds <<= 1
+        for r in range(1, rounds):
+            partner = self.rank ^ r
+            if partner >= size:
+                continue
+            # Deterministic order avoids send/recv deadlock-shaped waits:
+            # lower rank sends first (sends are eager so either order
+            # completes, but fixed order keeps timing reproducible).
+            if self.rank < partner:
+                yield from self.send(payloads[partner], partner, tag + r)
+                result[partner] = yield from self.recv(partner, tag + r)
+            else:
+                result[partner] = yield from self.recv(partner, tag + r)
+                yield from self.send(payloads[partner], partner, tag + r)
+        return result
+
+    def barrier(self, tag: int = -7) -> Generator[Event, Any, None]:
+        """All ranks synchronize (zero-byte allreduce)."""
+        yield from self.allreduce(0, lambda a, b: 0, tag=tag)
+
+
+def run_spmd(
+    world: World,
+    main: Callable[[RankComm], Generator[Event, Any, Any]],
+) -> list[Any]:
+    """Launch *main(comm)* as one DES process per rank and run to completion.
+
+    Returns the per-rank return values in rank order — the simulated
+    equivalent of ``mpiexec -n SIZE python script.py``.
+    """
+    engine = world.engine
+    procs = [
+        engine.process(main(world.comm(rank)), name=f"rank{rank}")
+        for rank in range(world.size)
+    ]
+    return list(engine.run(engine.all_of(procs)))

@@ -1,0 +1,171 @@
+"""Qilin-style adaptive mapping — the profiling comparator (§II.B).
+
+The paper positions its analytic model against Qilin [5]: "their auto
+tuning scheduler needs to maintain a database in order to build a
+performance profiling model for the target application" and, generally,
+profiling approaches pay "extra performance overhead [since] some papers
+needed to run a set of small test jobs on the heterogeneous devices".
+PRS's model, by contrast, "does not introduce extra performance overhead
+as there is no need to run test jobs".
+
+To make that comparison quantitative, this module implements the Qilin
+scheme faithfully enough to measure its costs:
+
+1. **Training** — run the application kernel on a few small input slices
+   on the CPU alone and on the GPU alone, timing each (in our setting the
+   timings come from the same simulated devices the real job runs on, so
+   the profile is as good as Qilin's would be).
+2. **Model fitting** — least-squares linear fits ``T_d(s) = a_d + b_d s``
+   per device (Qilin's empirical performance model).
+3. **Database** — fits are memoised per (application, device) key, so a
+   second job with the same key skips training (Qilin amortizes its
+   overhead across repeated runs, which is why "the benefit usually
+   outweighs overhead").
+4. **Mapping** — choose the CPU fraction ``p`` minimizing
+   ``max(T_c(p M), T_g((1-p) M))`` from the fitted models.
+
+The ablation benchmark compares total cost (training + job) and chosen
+``p`` against the analytic model's zero-overhead prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro._validation import (
+    require_fraction,
+    require_positive,
+    require_positive_int,
+)
+
+#: Timer: (device, n_items) -> simulated seconds for that slice.
+SliceTimer = Callable[[str, int], float]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Fitted per-device cost model ``T(s) = intercept + slope * s``."""
+
+    intercept: float
+    slope: float
+
+    def __call__(self, n_items: float) -> float:
+        return self.intercept + self.slope * n_items
+
+
+@dataclass(frozen=True)
+class AdaptiveDecision:
+    """Outcome of one adaptive-mapping session."""
+
+    p: float
+    cpu_fit: LinearFit
+    gpu_fit: LinearFit
+    training_seconds: float
+    from_database: bool
+
+
+class AdaptiveMapper:
+    """The Qilin-style profiling scheduler with its model database."""
+
+    def __init__(
+        self,
+        train_fraction: float = 0.05,
+        n_train_points: int = 3,
+    ) -> None:
+        require_fraction("train_fraction", train_fraction)
+        if train_fraction == 0.0:
+            raise ValueError("train_fraction must be > 0")
+        require_positive_int("n_train_points", n_train_points)
+        self.train_fraction = train_fraction
+        self.n_train_points = n_train_points
+        #: the profiling database: (app key, device) -> LinearFit
+        self.database: dict[tuple[str, str], LinearFit] = {}
+
+    # ------------------------------------------------------------------
+    def _training_sizes(self, n_items: int) -> list[int]:
+        """Geometrically spaced training slice sizes."""
+        largest = max(int(n_items * self.train_fraction), self.n_train_points)
+        sizes = np.geomspace(
+            max(largest // 8, 1), largest, self.n_train_points
+        )
+        return sorted({max(int(s), 1) for s in sizes})
+
+    def _fit(self, sizes: list[int], times: list[float]) -> LinearFit:
+        if len(sizes) == 1:
+            # Degenerate: assume zero intercept.
+            return LinearFit(0.0, times[0] / max(sizes[0], 1))
+        coeffs = np.polyfit(np.asarray(sizes, float), np.asarray(times, float), 1)
+        slope, intercept = float(coeffs[0]), float(coeffs[1])
+        return LinearFit(max(intercept, 0.0), max(slope, 1e-30))
+
+    def train(
+        self, app_key: str, n_items: int, timer: SliceTimer
+    ) -> tuple[LinearFit, LinearFit, float]:
+        """Run the training jobs (or hit the database); returns the two
+        fits and the training time spent *this* call."""
+        cpu_key, gpu_key = (app_key, "cpu"), (app_key, "gpu")
+        if cpu_key in self.database and gpu_key in self.database:
+            return self.database[cpu_key], self.database[gpu_key], 0.0
+
+        require_positive_int("n_items", n_items)
+        sizes = self._training_sizes(n_items)
+        spent = 0.0
+        fits = {}
+        for device in ("cpu", "gpu"):
+            times = []
+            for size in sizes:
+                t = timer(device, size)
+                require_positive("measured time", t)
+                times.append(t)
+                spent += t
+            fits[device] = self._fit(sizes, times)
+        self.database[cpu_key] = fits["cpu"]
+        self.database[gpu_key] = fits["gpu"]
+        return fits["cpu"], fits["gpu"], spent
+
+    def decide(
+        self, app_key: str, n_items: int, timer: SliceTimer
+    ) -> AdaptiveDecision:
+        """Full Qilin session: train (or reuse), then pick ``p``."""
+        had = (app_key, "cpu") in self.database
+        cpu_fit, gpu_fit, spent = self.train(app_key, n_items, timer)
+
+        # argmin_p max(T_c(p n), T_g((1-p) n)); the optimum equalizes the
+        # two when both are loaded, else degenerates to 0/1.
+        ps = np.linspace(0.0, 1.0, 2049)
+        t = np.maximum(cpu_fit(ps * n_items), gpu_fit((1.0 - ps) * n_items))
+        p = float(ps[int(np.argmin(t))])
+        return AdaptiveDecision(
+            p=p,
+            cpu_fit=cpu_fit,
+            gpu_fit=gpu_fit,
+            training_seconds=spent,
+            from_database=had,
+        )
+
+
+def roofline_slice_timer(
+    node, intensity: float, item_bytes: float, *, staged: bool = True
+) -> SliceTimer:
+    """A :data:`SliceTimer` that measures on the simulated devices.
+
+    This is what timing the training jobs on the real machine would
+    return, given our roofline device models: slice bytes over the
+    attainable rate, plus the PCI-E staging for the GPU when *staged*.
+    """
+    require_positive("intensity", intensity)
+    require_positive("item_bytes", item_bytes)
+
+    def timer(device: str, n_items: int) -> float:
+        nbytes = n_items * item_bytes
+        flops = intensity * nbytes
+        if device == "cpu":
+            rate = node.cpu.attainable_gflops(intensity)
+            return flops / (rate * 1e9)
+        rate = node.gpu.attainable_gflops(intensity, staged=staged)
+        return flops / (rate * 1e9)
+
+    return timer

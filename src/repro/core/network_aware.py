@@ -1,0 +1,155 @@
+"""Network-aware extension of the analytic model (paper future work a).
+
+§III.B.3a: "Equation (8) can also be extended by considering the bandwidth
+of the network in order to schedule communication intensive tasks.  [...]
+we do not discuss communication intensive applications in the paper."
+§V lists the extension as future work; this module provides it.
+
+Derivation.  For a communication-intensive SPMD task, each input byte a
+device processes produces ``gamma`` bytes of intermediate data that must
+leave the node during the shuffle (``gamma = map_output_bytes /
+input_bytes``).  A device therefore drains input at the *effective* byte
+rate
+
+.. math::
+
+    R_{eff} = \\min\\left(\\frac{F(A)}{A},\\; \\frac{B_{net}}{\\gamma}\\right)
+
+— the roofline byte rate capped by how fast the NIC can evacuate the
+intermediates it generates.  The equal-finish-time argument of Equations
+(1)-(5) then goes through unchanged with ``R_eff`` in place of ``F/A``:
+
+.. math::
+
+    p = \\frac{R_{eff,c}}{R_{eff,c} + R_{eff,g}}
+
+Two regimes follow:
+
+* **compute-bound** (``gamma`` small or network fast): both devices sit on
+  their roofline rates and the split degenerates to Equation (8) exactly;
+* **network-bound** (``gamma B_{net}^{-1}`` dominating): both devices are
+  capped by the same NIC, the split approaches 1/2, and adding the second
+  device stops helping — the model predicts *when co-processing stops
+  paying*, which is the actionable output for communication-intensive
+  jobs.
+
+Note the NIC is a per-node resource shared by both devices; when *both*
+are network-capped the node as a whole drains at ``B_net / gamma`` and the
+co-processing speedup over a single device is 1.  :func:`coprocessing_gain`
+reports that saturation explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._validation import require_nonnegative, require_positive
+from repro.core.analytic import SplitDecision, _intensity_value  # noqa: F401
+from repro.core.intensity import IntensityProfile
+from repro.core.roofline import RooflineModel
+from repro.hardware.cluster import NetworkSpec
+from repro.hardware.node import FatNode
+
+
+@dataclass(frozen=True)
+class NetworkAwareSplit:
+    """Result of the network-aware workload split.
+
+    Attributes
+    ----------
+    p:
+        CPU input fraction under the extended model.
+    cpu_rate_bytes / gpu_rate_bytes:
+        Effective input-drain rates in bytes/s (roofline or NIC capped).
+    cpu_network_bound / gpu_network_bound:
+        Whether each device's effective rate is the NIC cap.
+    plain_p:
+        The Equation (8) fraction without the network term, for
+        comparison.
+    """
+
+    p: float
+    cpu_rate_bytes: float
+    gpu_rate_bytes: float
+    cpu_network_bound: bool
+    gpu_network_bound: bool
+    plain_p: float
+
+
+def _effective_byte_rate(
+    flop_rate_gflops: float,
+    intensity: float,
+    gamma: float,
+    network: NetworkSpec,
+) -> tuple[float, bool]:
+    """(bytes/s, network_bound?) for one device."""
+    compute_rate = flop_rate_gflops * 1e9 / intensity  # bytes/s
+    if gamma <= 0:
+        return compute_rate, False
+    drain_rate = network.bandwidth * 1e9 / gamma
+    if drain_rate < compute_rate:
+        return drain_rate, True
+    return compute_rate, False
+
+
+def network_aware_split(
+    node: FatNode,
+    intensity: float | IntensityProfile,
+    gamma: float,
+    network: NetworkSpec,
+    *,
+    gpu_intensity: float | IntensityProfile | None = None,
+    staged: bool = True,
+    partition_bytes: float = 1e9,
+) -> NetworkAwareSplit:
+    """Extended Equation (8): CPU fraction with the shuffle traffic term.
+
+    Parameters
+    ----------
+    gamma:
+        Intermediate bytes emitted per input byte (``0`` recovers the
+        plain model).
+    network:
+        Interconnect the node's shuffle traffic leaves through.
+    """
+    require_nonnegative("gamma", gamma)
+    require_positive("partition_bytes", partition_bytes)
+    a_c = _intensity_value(intensity, partition_bytes)
+    a_g = _intensity_value(
+        gpu_intensity if gpu_intensity is not None else intensity,
+        partition_bytes,
+    )
+    f_c = RooflineModel(node.cpu, staged=True).attainable(a_c)
+    f_g = RooflineModel(node.gpu, staged=staged).attainable(a_g)
+
+    # The NIC is shared: when both devices are network-capped, each gets
+    # half the drain rate (they shuffle concurrently); the split is then
+    # 1/2 and the node-level rate is B_net/gamma in total.
+    r_c, c_bound = _effective_byte_rate(f_c, a_c, gamma, network)
+    r_g, g_bound = _effective_byte_rate(f_g, a_g, gamma, network)
+
+    p = r_c / (r_c + r_g)
+    plain_c = f_c * 1e9 / a_c
+    plain_g = f_g * 1e9 / a_g
+    plain_p = plain_c / (plain_c + plain_g)
+    return NetworkAwareSplit(
+        p=p,
+        cpu_rate_bytes=r_c,
+        gpu_rate_bytes=r_g,
+        cpu_network_bound=c_bound,
+        gpu_network_bound=g_bound,
+        plain_p=plain_p,
+    )
+
+
+def coprocessing_gain(split: NetworkAwareSplit) -> float:
+    """Predicted speedup of GPU+CPU over the faster single device.
+
+    When both devices are NIC-bound they share one drain pipe, so adding
+    the second device yields no speedup (returns 1.0).  Otherwise the
+    equal-finish-time argument gives ``(r_c + r_g) / max(r_c, r_g)``.
+    """
+    if split.cpu_network_bound and split.gpu_network_bound:
+        return 1.0
+    total = split.cpu_rate_bytes + split.gpu_rate_bytes
+    return total / max(split.cpu_rate_bytes, split.gpu_rate_bytes)

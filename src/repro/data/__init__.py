@@ -1,0 +1,40 @@
+"""Synthetic dataset generators.
+
+The paper's evaluation data is either synthetic ("the sample data set has
+200k to 800k points, 100 dimensions, and 10 clusters") or proprietary
+flow-cytometry data (the FLAME Lymphocytes set).  This subpackage generates
+statistically equivalent inputs: seeded Gaussian mixtures, dense matrices
+for GEMV/DGEMM, token streams for word count, and a Lymphocytes-like 4-D /
+5-cluster reference set with held-out ground truth for the Figure 5
+clustering-quality comparison.
+"""
+
+from repro.data.synth import (
+    gaussian_mixture,
+    random_matrix,
+    random_vector,
+    text_corpus,
+)
+from repro.data.flame import lymphocytes_like
+from repro.data.io import (
+    load_corpus,
+    load_lines,
+    load_points,
+    save_corpus,
+    save_lines,
+    save_points,
+)
+
+__all__ = [
+    "gaussian_mixture",
+    "random_matrix",
+    "random_vector",
+    "text_corpus",
+    "lymphocytes_like",
+    "save_points",
+    "load_points",
+    "save_lines",
+    "load_lines",
+    "save_corpus",
+    "load_corpus",
+]

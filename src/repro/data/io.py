@@ -1,0 +1,97 @@
+"""Dataset persistence: save/load the synthetic inputs.
+
+Reproduction workflows want to pin datasets to disk — rerun a benchmark on
+the exact bytes, share a generated Lymphocytes-like set, feed an external
+log file to the log-analysis app.  Formats: ``.npz`` for labelled point
+sets (points + labels + optional centers, with a format tag), plain text
+for logs and token corpora.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+_FORMAT_TAG = "repro-pointset-v1"
+
+
+def save_points(
+    path: str | pathlib.Path,
+    points: np.ndarray,
+    labels: np.ndarray | None = None,
+    centers: np.ndarray | None = None,
+) -> None:
+    """Write a labelled point set to ``.npz``."""
+    points = np.asarray(points)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {points.shape}")
+    payload: dict[str, np.ndarray] = {
+        "format": np.array(_FORMAT_TAG),
+        "points": points,
+    }
+    if labels is not None:
+        labels = np.asarray(labels)
+        if labels.shape[0] != points.shape[0]:
+            raise ValueError(
+                f"labels length {labels.shape[0]} != points {points.shape[0]}"
+            )
+        payload["labels"] = labels
+    if centers is not None:
+        centers = np.asarray(centers)
+        if centers.ndim != 2 or centers.shape[1] != points.shape[1]:
+            raise ValueError(
+                f"centers shape {centers.shape} incompatible with "
+                f"{points.shape[1]}-D points"
+            )
+        payload["centers"] = centers
+    np.savez_compressed(path, **payload)
+
+
+def load_points(
+    path: str | pathlib.Path,
+) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None]:
+    """Read a point set written by :func:`save_points`.
+
+    Returns ``(points, labels_or_None, centers_or_None)``.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        tag = str(data["format"]) if "format" in data else ""
+        if tag != _FORMAT_TAG:
+            raise ValueError(
+                f"{path}: not a repro point set (format tag {tag!r})"
+            )
+        points = data["points"]
+        labels = data["labels"] if "labels" in data else None
+        centers = data["centers"] if "centers" in data else None
+    return points, labels, centers
+
+
+def save_lines(path: str | pathlib.Path, lines: list[str]) -> None:
+    """Write one string per line (log files, documents)."""
+    text = "\n".join(lines)
+    pathlib.Path(path).write_text(text + ("\n" if lines else ""), "utf-8")
+
+
+def load_lines(path: str | pathlib.Path) -> list[str]:
+    """Read a :func:`save_lines` file back (trailing newline tolerated)."""
+    text = pathlib.Path(path).read_text("utf-8")
+    if text.endswith("\n"):
+        text = text[:-1]
+    return text.split("\n") if text else []
+
+
+def save_corpus(path: str | pathlib.Path, documents: list[list[str]]) -> None:
+    """Write a token corpus: one document per line, space-separated."""
+    for i, doc in enumerate(documents):
+        for word in doc:
+            if " " in word or "\n" in word:
+                raise ValueError(
+                    f"document {i}: token {word!r} contains whitespace"
+                )
+    save_lines(path, [" ".join(doc) for doc in documents])
+
+
+def load_corpus(path: str | pathlib.Path) -> list[list[str]]:
+    """Read a :func:`save_corpus` file."""
+    return [line.split(" ") if line else [] for line in load_lines(path)]

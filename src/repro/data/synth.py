@@ -1,0 +1,99 @@
+"""Seeded synthetic inputs: Gaussian mixtures, matrices, token streams."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import require_positive, require_positive_int
+
+
+def gaussian_mixture(
+    n_points: int,
+    n_dims: int,
+    n_clusters: int,
+    seed: int = 0,
+    spread: float = 5.0,
+    cluster_std: float = 1.0,
+    weights: np.ndarray | None = None,
+    dtype: np.dtype = np.float32,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample a labelled Gaussian mixture.
+
+    Returns ``(points, labels, centers)`` with ``points`` of shape
+    ``(n_points, n_dims)``, integer ``labels`` in ``[0, n_clusters)`` and
+    the true ``centers`` of shape ``(n_clusters, n_dims)``.  ``spread``
+    controls how far apart cluster centers are (in units of
+    ``cluster_std``), so ``spread >> 1`` gives separable clusters and
+    ``spread ~ 1`` the heavily overlapping regime flow-cytometry data
+    lives in.
+    """
+    require_positive_int("n_points", n_points)
+    require_positive_int("n_dims", n_dims)
+    require_positive_int("n_clusters", n_clusters)
+    require_positive("spread", spread)
+    require_positive("cluster_std", cluster_std)
+    rng = np.random.default_rng(seed)
+
+    if weights is None:
+        w = np.full(n_clusters, 1.0 / n_clusters)
+    else:
+        w = np.asarray(weights, dtype=np.float64)
+        if w.shape != (n_clusters,):
+            raise ValueError(
+                f"weights must have shape ({n_clusters},), got {w.shape}"
+            )
+        if np.any(w < 0) or w.sum() <= 0:
+            raise ValueError("weights must be non-negative and not all zero")
+        w = w / w.sum()
+
+    centers = rng.normal(scale=spread * cluster_std, size=(n_clusters, n_dims))
+    labels = rng.choice(n_clusters, size=n_points, p=w)
+    points = centers[labels] + rng.normal(
+        scale=cluster_std, size=(n_points, n_dims)
+    )
+    return points.astype(dtype), labels.astype(np.int64), centers.astype(dtype)
+
+
+def random_matrix(
+    n_rows: int, n_cols: int, seed: int = 0, dtype: np.dtype = np.float32
+) -> np.ndarray:
+    """Dense uniform(-1, 1) matrix for GEMV/DGEMM workloads."""
+    require_positive_int("n_rows", n_rows)
+    require_positive_int("n_cols", n_cols)
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1.0, 1.0, size=(n_rows, n_cols)).astype(dtype)
+
+
+def random_vector(n: int, seed: int = 0, dtype: np.dtype = np.float32) -> np.ndarray:
+    """Dense uniform(-1, 1) vector."""
+    require_positive_int("n", n)
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1.0, 1.0, size=n).astype(dtype)
+
+
+#: Zipf-ish vocabulary used by :func:`text_corpus`.
+_WORDS = [
+    "the", "of", "and", "to", "in", "a", "is", "that", "for", "it",
+    "data", "gpu", "cpu", "node", "task", "map", "reduce", "cluster",
+    "kernel", "stream", "memory", "bandwidth", "model", "runtime",
+    "schedule", "block", "thread", "core", "matrix", "vector",
+]
+
+
+def text_corpus(
+    n_docs: int, words_per_doc: int = 100, seed: int = 0
+) -> list[list[str]]:
+    """Token-list documents with a Zipf-like word distribution.
+
+    Input for the low-arithmetic-intensity word-count application (the
+    Figure 4 low-end anchor the paper names explicitly).
+    """
+    require_positive_int("n_docs", n_docs)
+    require_positive_int("words_per_doc", words_per_doc)
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, len(_WORDS) + 1, dtype=np.float64)
+    probs = (1.0 / ranks) / np.sum(1.0 / ranks)
+    return [
+        [str(w) for w in rng.choice(_WORDS, size=words_per_doc, p=probs)]
+        for _ in range(n_docs)
+    ]

@@ -1,0 +1,42 @@
+"""PRS — the Parallel Runtime System of the paper (§III).
+
+The pieces map one-to-one onto Figure 2 of the paper:
+
+* :mod:`repro.runtime.api` — the user-implemented MapReduce interface
+  (Table 1): CPU and GPU map/reduce/combiner/compare variants.
+* :mod:`repro.runtime.job` — job configuration (the Table 2 parameters the
+  user supplies at the job-configuration stage) and job results.
+* :mod:`repro.runtime.partition` — the master task scheduler's input
+  partitioning (default: two partitions per fat node).
+* :mod:`repro.runtime.scheduler` — the two-level scheduler: master task
+  scheduler + per-worker sub-task scheduler, with the static (analytic)
+  and dynamic (block-polling) strategies of §III.B.2.
+* :mod:`repro.runtime.daemons` — GPU and CPU device daemons (§III.C.1).
+* :mod:`repro.runtime.shuffle` — intermediate key grouping and bucket
+  exchange between map and reduce.
+* :mod:`repro.runtime.memory` — region-based memory management (§III.C.2).
+* :mod:`repro.runtime.iterative` — iterative-application support with
+  loop-invariant GPU caching (§III.C.3).
+* :mod:`repro.runtime.prs` — the :class:`PRSRuntime` facade tying it all
+  together over the simulated cluster.
+"""
+
+from repro.runtime.api import Block, MapReduceApp, IterativeMapReduceApp
+from repro.runtime.job import JobConfig, JobResult, Scheduling
+from repro.runtime.memory import Region, RegionAllocator
+from repro.runtime.partition import partition_range, weighted_partition
+from repro.runtime.prs import PRSRuntime
+
+__all__ = [
+    "MapReduceApp",
+    "IterativeMapReduceApp",
+    "Block",
+    "JobConfig",
+    "JobResult",
+    "Scheduling",
+    "Region",
+    "RegionAllocator",
+    "partition_range",
+    "weighted_partition",
+    "PRSRuntime",
+]

@@ -1,0 +1,377 @@
+"""GPU and CPU device daemons (paper §III.C.1).
+
+"It spawns one daemon thread for each GPU card and one daemon thread for
+all assigned CPU cores in the host. [...] The PRS also makes use of
+Pthreads to schedule tasks on CPU cores.  Each thread runs one mapper or
+reducer on each CPU core."
+
+Here a daemon is a factory of DES process fragments operating on the
+node's contended resources:
+
+* :class:`CpuDaemon` — dispatches map/reduce blocks onto the node's core
+  pool; each block holds one core for ``dispatch + flops / per-core-rate``
+  seconds, where the per-core rate is the roofline-attainable CPU rate
+  divided by the core count (all cores share DRAM bandwidth and the
+  aggregate peak).
+* :class:`GpuDaemon` — the single thread owning the GPU context
+  (§III.C.3): issues stream blocks through the two-engine
+  :class:`~repro.simulate.streams.GpuStreamEngine` (PCI-E copies overlap
+  kernels), skipping host->device copies for loop-invariant cached input.
+
+Both daemons execute the application's *functional* kernels (real NumPy)
+while charging *simulated* time from the roofline models, so results are
+numerically real and timings analytically faithful.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.intensity import IntensityProfile
+from repro.hardware.node import FatNode
+from repro.runtime.api import Block, MapReduceApp
+from repro.runtime.job import JobConfig, Overheads
+from repro.runtime.memory import MALLOC_OVERHEAD_S, RegionAllocator
+from repro.runtime.shuffle import KeyValue
+from repro.simulate.engine import Engine, Event
+from repro.simulate.resources import CorePool
+from repro.simulate.streams import GpuStreamEngine, StreamBlock
+from repro.simulate.trace import Trace
+
+#: bookkeeping bytes reserved per emitted key/value object
+_KV_OBJECT_BYTES = 96
+
+
+class NodeResources:
+    """The contended hardware of one fat node inside the simulation."""
+
+    def __init__(self, engine: Engine, node: FatNode, n_gpus: int | None = None) -> None:
+        self.engine = engine
+        self.node = node
+        self.cpu_pool = CorePool(engine, node.cpu.cores, name=f"{node.name}.cores")
+        count = len(node.gpus) if n_gpus is None else min(n_gpus, len(node.gpus))
+        self.gpu_engines = [
+            GpuStreamEngine(engine, gpu, name=f"{node.name}.gpu{i}")
+            for i, gpu in enumerate(node.gpus[:count])
+        ]
+        #: per-daemon-thread regions (§III.C.2); reset between stages
+        self.allocator = RegionAllocator()
+
+
+def _alloc_seconds(
+    resources: NodeResources,
+    thread_id: str,
+    n_objects: int,
+    use_region: bool,
+) -> float:
+    """Simulated cost of allocating *n_objects* intermediate KV records.
+
+    With the region allocator only backing-buffer growth costs a malloc;
+    without it every object pays one device-malloc (§III.C.2: "the
+    aggregated overhead of the malloc operations can degrade the
+    performance if many small memory allocation requests exist").
+    """
+    if n_objects <= 0:
+        return 0.0
+    if not use_region:
+        return n_objects * MALLOC_OVERHEAD_S
+    region = resources.allocator.region(thread_id)
+    before = region.stats.backing_allocs
+    for _ in range(n_objects):
+        region.alloc(_KV_OBJECT_BYTES)
+    return (region.stats.backing_allocs - before) * MALLOC_OVERHEAD_S
+
+
+class CpuDaemon:
+    """The one daemon thread managing all CPU cores of a node."""
+
+    def __init__(
+        self,
+        resources: NodeResources,
+        app: MapReduceApp,
+        config: JobConfig,
+        trace: Trace,
+    ) -> None:
+        self.res = resources
+        self.app = app
+        self.config = config
+        self.overheads = config.overheads
+        self.trace = trace
+        self.device_name = f"{resources.node.name}.cpu"
+
+    # ------------------------------------------------------------------
+    def block_seconds(self, block: Block) -> float:
+        """Simulated seconds one core needs for *block* (excl. dispatch)."""
+        flops = self.app.map_flops(block)
+        if flops <= 0:
+            return 0.0
+        nbytes = self.app.block_bytes(block)
+        intensity = self.app.intensity().at(nbytes)
+        cpu = self.res.node.cpu
+        per_core = cpu.attainable_gflops(intensity) / cpu.cores
+        return flops / (per_core * 1e9)
+
+    def run_map_block(
+        self, block: Block, sink: list[KeyValue]
+    ) -> Generator[Event, Any, None]:
+        """Process fragment: one map sub-task on one core."""
+        engine = self.res.engine
+        yield self.res.cpu_pool.request()
+        try:
+            start = engine.now
+            pairs = self.app.cpu_map(block)
+            duration = (
+                self.overheads.cpu_task_dispatch_s
+                + self.block_seconds(block)
+                + _alloc_seconds(
+                    self.res,
+                    self.device_name,
+                    len(pairs),
+                    self.config.use_region_allocator,
+                )
+            )
+            yield engine.timeout(duration)
+            sink.extend(pairs)
+            self.trace.record(
+                f"map[{block.start}:{block.stop}]",
+                self.device_name,
+                "compute",
+                start,
+                engine.now,
+                nbytes=self.app.block_bytes(block),
+                flops=self.app.map_flops(block),
+            )
+        finally:
+            self.res.cpu_pool.release()
+
+    def run_map_blocks(
+        self, blocks: list[Block], sink: list[KeyValue]
+    ) -> Generator[Event, Any, None]:
+        """Process fragment: run *blocks* across the core pool, await all."""
+        engine = self.res.engine
+        procs = [
+            engine.process(self.run_map_block(b, sink), name="cpu-map")
+            for b in blocks
+        ]
+        yield engine.all_of(procs)
+
+    def run_reduce(
+        self,
+        groups: dict[Any, list[Any]],
+        sink: dict[Any, Any],
+    ) -> Generator[Event, Any, None]:
+        """Process fragment: one reduce task per key group on the cores."""
+        engine = self.res.engine
+
+        def one(key: Any, values: list[Any]) -> Generator[Event, Any, None]:
+            yield self.res.cpu_pool.request()
+            try:
+                start = engine.now
+                flops = self.app.reduce_flops(key, values)
+                cpu = self.res.node.cpu
+                per_core = cpu.peak_gflops / cpu.cores
+                duration = (
+                    self.overheads.cpu_task_dispatch_s + flops / (per_core * 1e9)
+                )
+                yield engine.timeout(duration)
+                sink[key] = self.app.cpu_reduce(key, values)
+                self.trace.record(
+                    f"reduce[{key!r}]",
+                    self.device_name,
+                    "reduce",
+                    start,
+                    engine.now,
+                    flops=flops,
+                )
+            finally:
+                self.res.cpu_pool.release()
+
+        procs = [
+            engine.process(one(k, v), name="cpu-reduce") for k, v in groups.items()
+        ]
+        yield engine.all_of(procs)
+
+
+class GpuDaemon:
+    """The daemon thread owning one GPU card (and its context, §III.C.3)."""
+
+    def __init__(
+        self,
+        resources: NodeResources,
+        gpu_index: int,
+        app: MapReduceApp,
+        config: JobConfig,
+        trace: Trace,
+    ) -> None:
+        if gpu_index >= len(resources.gpu_engines):
+            raise ValueError(
+                f"node {resources.node.name} exposes "
+                f"{len(resources.gpu_engines)} GPU engines, not {gpu_index + 1}"
+            )
+        self.res = resources
+        self.stream_engine = resources.gpu_engines[gpu_index]
+        self.gpu = self.stream_engine.gpu
+        self.app = app
+        self.config = config
+        self.overheads = config.overheads
+        self.trace = trace
+        self.device_name = self.stream_engine.name
+        #: item spans already resident in GPU memory (loop-invariant cache)
+        self._cached_blocks: set[tuple[int, int]] = set()
+        #: bytes currently held by the loop-invariant cache
+        self.cached_bytes: float = 0.0
+        #: fraction of device memory the cache may occupy (the rest is
+        #: working set: intermediates, kernel scratch, regions)
+        self.cache_capacity_fraction: float = 0.9
+
+    # ------------------------------------------------------------------
+    def kernel_seconds(self, block: Block) -> float:
+        """Kernel time for *block* from the resident-arm roofline."""
+        flops = self.app.gpu_map_flops(block)
+        if flops <= 0:
+            return 0.0
+        nbytes = self.app.block_bytes(block)
+        intensity = self.app.gpu_intensity().at(nbytes)
+        rate = self.gpu.attainable_gflops(intensity, staged=False)
+        return flops / (rate * 1e9)
+
+    def is_cached(self, block: Block) -> bool:
+        """Whether *block*'s input already resides in GPU memory.
+
+        Caching requires the funneled single-context design: "instead of
+        having every MapReduce tasks creating its own GPU context, we make
+        GPU device daemon to be the only thread that communicate to GPU
+        device" (§III.C.3) — per-task contexts cannot keep data resident
+        across tasks.
+        """
+        return (
+            self.config.single_gpu_context
+            and self.app.iterative
+            and (block.start, block.stop) in self._cached_blocks
+        )
+
+    def _stream_block(self, block: Block) -> StreamBlock:
+        in_bytes = 0.0 if self.is_cached(block) else self.app.block_bytes(block)
+        return StreamBlock(
+            in_bytes=in_bytes,
+            flops=self.app.gpu_map_flops(block),
+            out_bytes=self.app.map_output_bytes(block),
+            kernel_seconds=self.kernel_seconds(block),
+        )
+
+    def run_map_block(
+        self, block: Block, sink: list[KeyValue]
+    ) -> Generator[Event, Any, None]:
+        """Process fragment: one map sub-task as one GPU stream."""
+        engine = self.res.engine
+        if not self.config.single_gpu_context:
+            # §III.C.3's anti-pattern: the task creates its own GPU
+            # context instead of funneling through this daemon's.
+            if self.overheads.gpu_context_s > 0:
+                yield engine.timeout(self.overheads.gpu_context_s)
+        if self.overheads.gpu_task_dispatch_s > 0:
+            yield engine.timeout(self.overheads.gpu_task_dispatch_s)
+        yield from self.stream_engine.run_block(
+            self._stream_block(block),
+            trace=self.trace,
+            label=f"map[{block.start}:{block.stop}]",
+        )
+        if self.app.iterative:
+            # The loop-invariant input for this span becomes resident —
+            # but only while it fits in device memory alongside the
+            # working set.  C-means can cache "the event matrix in GPU
+            # memory" (§IV.A.1) because it fits; oversized inputs must
+            # re-stage every iteration.
+            key = (block.start, block.stop)
+            nbytes = self.app.block_bytes(block)
+            budget = self.cache_capacity_fraction * self.gpu.memory_bytes
+            if key not in self._cached_blocks and (
+                self.cached_bytes + nbytes <= budget
+            ):
+                self._cached_blocks.add(key)
+                self.cached_bytes += nbytes
+        pairs = self.app.gpu_map(block)
+        alloc = _alloc_seconds(
+            self.res,
+            self.device_name,
+            len(pairs),
+            self.config.use_region_allocator,
+        )
+        if alloc > 0:
+            yield engine.timeout(alloc)
+        sink.extend(pairs)
+
+    def run_map_blocks(
+        self,
+        blocks: list[Block],
+        sink: list[KeyValue],
+        n_streams: int | None = None,
+    ) -> Generator[Event, Any, None]:
+        """Process fragment: issue *blocks* as (possibly overlapping)
+        streams and await completion.
+
+        ``n_streams=1`` serializes (the no-stream baseline); ``None`` lets
+        the device's in-flight window (work queues) govern overlap.
+        """
+        engine = self.res.engine
+        if n_streams is not None and n_streams >= 1:
+            # Re-chunk: issue at most n_streams concurrent processes.
+            from repro.simulate.resources import Resource
+
+            gate = Resource(engine, capacity=n_streams, name="stream-gate")
+
+            def gated(block: Block) -> Generator[Event, Any, None]:
+                yield gate.request()
+                try:
+                    yield from self.run_map_block(block, sink)
+                finally:
+                    gate.release()
+
+            procs = [engine.process(gated(b), name="gpu-map") for b in blocks]
+        else:
+            procs = [
+                engine.process(self.run_map_block(b, sink), name="gpu-map")
+                for b in blocks
+            ]
+        yield engine.all_of(procs)
+
+    def run_reduce(
+        self,
+        groups: dict[Any, list[Any]],
+        sink: dict[Any, Any],
+    ) -> Generator[Event, Any, None]:
+        """Process fragment: reduce tasks as small GPU kernels.
+
+        Used when the job runs GPU-only; values are already in host memory
+        after the shuffle, so each reduce pays a (small) h2d + kernel.
+        """
+        engine = self.res.engine
+
+        def one(key: Any, values: list[Any]) -> Generator[Event, Any, None]:
+            flops = self.app.reduce_flops(key, values)
+            duration = flops / (self.gpu.peak_gflops * 1e9)
+            if self.overheads.gpu_task_dispatch_s > 0:
+                yield engine.timeout(self.overheads.gpu_task_dispatch_s)
+            yield from self.stream_engine.run_block(
+                StreamBlock(
+                    in_bytes=sum(
+                        float(getattr(v, "nbytes", 64)) for v in values
+                    ),
+                    flops=flops,
+                    out_bytes=self.app.reduce_output_bytes(key, None),
+                    kernel_seconds=duration,
+                ),
+                trace=self.trace,
+                label=f"reduce[{key!r}]",
+            )
+            sink[key] = self.app.gpu_device_reduce(key, values)
+
+        procs = [
+            engine.process(one(k, v), name="gpu-reduce") for k, v in groups.items()
+        ]
+        yield engine.all_of(procs)
+
+    def invalidate_cache(self) -> None:
+        """Drop the resident input (e.g. a new job reusing the daemon)."""
+        self._cached_blocks.clear()
+        self.cached_bytes = 0.0

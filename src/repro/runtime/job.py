@@ -1,0 +1,178 @@
+"""Job configuration and results (the paper's job-configuration stage).
+
+"In the job configuration stage, users specify the parameters for
+scheduling the tasks and sub-tasks.  These parameters include the
+arithmetic intensity and performance parameters of hardware devices"
+(§III.A.2) — the intensity comes from the app, the hardware parameters
+from the cluster description, and everything else is a
+:class:`JobConfig` knob.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro._validation import (
+    require_fraction,
+    require_nonnegative,
+    require_positive_int,
+)
+from typing import TYPE_CHECKING
+
+from repro.core.analytic import SplitDecision
+from repro.simulate.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.iterative import IterationLog
+
+
+class Scheduling(enum.Enum):
+    """§III.B.2: the two sub-task scheduling strategies PRS provides."""
+
+    #: analytic split via Equation (8), then per-device granularities
+    STATIC = "static"
+    #: fixed-size blocks polled by idle device daemons
+    DYNAMIC = "dynamic"
+
+
+@dataclass(frozen=True)
+class Overheads:
+    """Fixed runtime costs charged by the simulation.
+
+    These model what makes PRS slower than a hand-written MPI+CUDA binary
+    in Table 3: key/value bookkeeping per sub-task, kernel-launch /
+    dispatch latency, and per-job setup (daemon spawn, context creation).
+    """
+
+    #: one-time job setup (spawn daemons, create GPU context) per node
+    job_setup_s: float = 0.02
+    #: per-subtask dispatch cost on the CPU daemon
+    cpu_task_dispatch_s: float = 1e-3
+    #: per-subtask launch cost on the GPU daemon (kernel launch + KV copy)
+    gpu_task_dispatch_s: float = 2e-4
+    #: per-iteration driver overhead (state rebroadcast bookkeeping)
+    iteration_s: float = 2e-3
+    #: cost of creating/switching a GPU context (§III.C.3: "GPU context
+    #: switch is expensive").  Paid once per daemon under PRS's funneled
+    #: design; per map task when ``single_gpu_context`` is disabled.
+    gpu_context_s: float = 2e-2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "job_setup_s",
+            "cpu_task_dispatch_s",
+            "gpu_task_dispatch_s",
+            "iteration_s",
+            "gpu_context_s",
+        ):
+            require_nonnegative(name, getattr(self, name))
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """Scheduling knobs for one PRS job."""
+
+    #: sub-task scheduling strategy (§III.B.2)
+    scheduling: Scheduling = Scheduling.STATIC
+    #: engage the CPU daemon
+    use_cpu: bool = True
+    #: engage the GPU daemon(s)
+    use_gpu: bool = True
+    #: GPUs used per node (paper experiments: 1 even on 2-GPU Delta nodes)
+    gpus_per_node: int = 1
+    #: master-level partitions per node (paper default 2)
+    partitions_per_node: int = 2
+    #: CPU blocks per partition = multiplier x cores (§III.B.3b)
+    cpu_block_multiplier: int = 4
+    #: total dynamic blocks per partition (dynamic scheduling only)
+    dynamic_blocks: int = 64
+    #: Equation (9) overlap threshold for launching streams
+    overlap_threshold: float = 0.25
+    #: override the analytic CPU fraction (None = use Equation (8))
+    force_cpu_fraction: float | None = None
+    #: region-based memory management (§III.C.2); False charges one
+    #: device-malloc per emitted key/value object instead
+    use_region_allocator: bool = True
+    #: funnel all GPU work through the daemon's single context (§III.C.3);
+    #: False models "every MapReduce task creating its own GPU context" —
+    #: each GPU map block then pays ``overheads.gpu_context_s``
+    single_gpu_context: bool = True
+    #: sort each node's intermediate bucket by key with the app's
+    #: ``compare()`` before reducing ("copied/sorted to/in CPU memory",
+    #: §III.A.2).  Off by default: grouping does not require it, and apps
+    #: with heterogeneous key types (e.g. C-means' cluster ids + the
+    #: objective key) have no total order.
+    sort_intermediate: bool = False
+    #: serialize concurrent messages into a node on its ingress NIC (the
+    #: gather-hotspot effect).  Off by default: the paper's cost analysis
+    #: uses uncontended alpha/beta messages; turn on for fidelity studies
+    #: of the global-reduction droop.
+    contended_network: bool = False
+    #: fixed runtime overheads charged by the simulator
+    overheads: Overheads = field(default_factory=Overheads)
+
+    def __post_init__(self) -> None:
+        require_positive_int("gpus_per_node", self.gpus_per_node)
+        require_positive_int("partitions_per_node", self.partitions_per_node)
+        require_positive_int("cpu_block_multiplier", self.cpu_block_multiplier)
+        require_positive_int("dynamic_blocks", self.dynamic_blocks)
+        require_fraction("overlap_threshold", self.overlap_threshold)
+        if self.force_cpu_fraction is not None:
+            require_fraction("force_cpu_fraction", self.force_cpu_fraction)
+        if not (self.use_cpu or self.use_gpu):
+            raise ValueError("at least one of use_cpu/use_gpu must be set")
+
+    def devices_label(self) -> str:
+        if self.use_cpu and self.use_gpu:
+            return "GPU+CPU"
+        return "CPU" if self.use_cpu else "GPU"
+
+
+@dataclass
+class JobResult:
+    """Everything a finished PRS job reports."""
+
+    #: final reduce outputs, key -> value
+    output: dict[Any, Any]
+    #: simulated wall time in seconds
+    makespan: float
+    #: full execution trace
+    trace: Trace
+    #: per-node analytic split decisions (static scheduling)
+    splits: list[SplitDecision] = field(default_factory=list)
+    #: iterations executed (1 for non-iterative apps)
+    iterations: int = 1
+    #: total flops the devices executed (from the trace)
+    total_flops: float = 0.0
+    #: simulated bytes exchanged over the network
+    network_bytes: float = 0.0
+    #: per-iteration timing log (populated for every job; one entry per
+    #: driver iteration)
+    iteration_log: "IterationLog | None" = None
+
+    @property
+    def gflops(self) -> float:
+        """Aggregate achieved GFLOP/s over the job."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.total_flops / self.makespan / 1e9
+
+    def gflops_per_node(self, n_nodes: int) -> float:
+        """The Figure 6 y-axis: GFLOP/s per node."""
+        require_positive_int("n_nodes", n_nodes)
+        return self.gflops / n_nodes
+
+    def device_fraction(self, device_substr: str) -> float:
+        """Fraction of executed flops attributed to devices whose trace
+        name contains *device_substr* (e.g. ``"cpu"``) — the measured
+        workload distribution the Table 5 benchmark compares against
+        Equation (8)."""
+        total = self.trace.total_flops()
+        if total <= 0:
+            return 0.0
+        part = sum(
+            r.flops for r in self.trace.records if device_substr in r.device
+        )
+        return part / total

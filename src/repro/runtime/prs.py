@@ -1,0 +1,225 @@
+"""The PRS runtime facade: run MapReduce jobs on a simulated fat-node cluster.
+
+This is the level-1 **task scheduler** of the two-level design (§III.B.2)
+plus the job driver of §III.A.2:
+
+* the master splits the input into ``2 x n_nodes`` partitions (weighted by
+  node capability for inhomogeneous clusters) and assigns them to worker
+  sub-task schedulers;
+* each iteration: broadcast of the loop state (iterative apps), map on
+  every node's devices, optional combiner, cross-cluster shuffle of the
+  intermediate buckets, distributed reduce, gather of the reduce outputs
+  at the master, and — for iterative apps — a state update plus a
+  convergence broadcast.
+
+Data placement convention: like the paper's experiments ("the input
+matrices were copied into CPU and GPU memories in advance", §IV.A.1), the
+initial bulk distribution of the input is not timed; partition
+*descriptors* and all intermediate/state traffic are timed through the
+simulated network.  GPU staging of each block *is* timed through PCI-E,
+once for iterative apps (then cached) and on every pass for others.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro._validation import require_positive_int
+from repro.comm.mpi import RankComm, World, payload_nbytes, run_spmd
+from repro.core.analytic import node_partition_weights
+from repro.hardware.cluster import Cluster
+from repro.runtime.api import Block, IterativeMapReduceApp, MapReduceApp
+from repro.runtime.daemons import NodeResources
+from repro.runtime.iterative import IterationLog, IterationStats
+from repro.runtime.job import JobConfig, JobResult
+from repro.runtime.partition import weighted_partition
+from repro.runtime.scheduler import SubTaskScheduler
+from repro.runtime.shuffle import (
+    apply_combiner,
+    group_by_key,
+    hash_partition,
+)
+from repro.simulate.engine import Engine, Event
+from repro.simulate.trace import Trace
+
+
+class PRSRuntime:
+    """Run :class:`MapReduceApp` jobs on a (simulated) CPU/GPU cluster."""
+
+    def __init__(self, cluster: Cluster, config: JobConfig | None = None) -> None:
+        self.cluster = cluster
+        self.config = config if config is not None else JobConfig()
+
+    # ------------------------------------------------------------------
+    def run(self, app: MapReduceApp) -> JobResult:
+        """Execute *app* to completion; returns outputs plus timing."""
+        engine = Engine()
+        trace = Trace()
+        cluster = self.cluster
+        config = self.config
+        world = World(
+            engine,
+            cluster.n_nodes,
+            network=cluster.network,
+            trace=trace,
+            contended=config.contended_network,
+        )
+
+        resources = [
+            NodeResources(engine, node, config.gpus_per_node)
+            for node in cluster.nodes
+        ]
+        schedulers = [
+            SubTaskScheduler(res, app, config, trace) for res in resources
+        ]
+
+        node_partitions = self._partition_input(app)
+        iterative = isinstance(app, IterativeMapReduceApp)
+        max_iterations = app.max_iterations if iterative else 1
+
+        final_output: dict[Any, Any] = {}
+        iteration_log = IterationLog()
+        iterations_done = [0]
+
+        def worker(comm: RankComm) -> Generator[Event, Any, None]:
+            rank = comm.rank
+            sched = schedulers[rank]
+            yield engine.timeout(config.overheads.job_setup_s)
+            # Master ships partition descriptors (index ranges — tiny).
+            descriptors = (
+                [[(p.start, p.stop) for p in parts] for parts in node_partitions]
+                if rank == 0
+                else None
+            )
+            my_descr = yield from comm.scatter(descriptors, root=0)
+            my_parts = [Block(lo, hi) for lo, hi in my_descr]
+
+            iteration = 0
+            while True:
+                iter_start = engine.now
+                net_before = world.bytes_sent
+                if iterative:
+                    # Broadcast the loop state (centers etc.).  State lives
+                    # in shared memory functionally; the broadcast charges
+                    # its wire cost.
+                    state = app.iteration_state() if rank == 0 else None
+                    yield from comm.bcast(state, root=0, tag=1000 + iteration)
+                    yield engine.timeout(config.overheads.iteration_s)
+
+                # ---- map stage -------------------------------------------------
+                pairs: list[tuple[Any, Any]] = []
+                for part in my_parts:
+                    yield from sched.run_map_partition(part, pairs)
+                if app.has_combiner():
+                    pairs = apply_combiner(pairs, app.combiner)
+
+                # ---- shuffle ---------------------------------------------------
+                # Personalized all-to-all of the per-node key buckets, so
+                # "pairs with the same key are stored consecutively in a
+                # bucket on the same node" (§III.A.2).
+                buckets = hash_partition(pairs, comm.size)
+                incoming = yield from comm.alltoall(
+                    buckets, tag=100_000 + iteration * 256
+                )
+                mine = [kv for bucket in incoming for kv in bucket]
+
+                # ---- reduce stage ----------------------------------------------
+                if config.sort_intermediate and mine:
+                    # Sort cost: n log2 n comparisons at ~20ns each on the
+                    # node CPU — the "sorted in CPU memory" step.
+                    from math import log2
+
+                    from repro.runtime.shuffle import sort_pairs
+
+                    n_pairs = len(mine)
+                    sort_cost = 2e-8 * n_pairs * max(log2(n_pairs), 1.0)
+                    yield engine.timeout(sort_cost)
+                    mine = sort_pairs(mine, compare=app.compare)
+                groups = group_by_key(mine)
+                local_out: dict[Any, Any] = {}
+                yield from sched.run_reduce(groups, local_out)
+
+                gathered = yield from comm.gather(
+                    local_out, root=0, tag=3000 + iteration
+                )
+                # End of stage: bulk-free every daemon region (§III.C.2 —
+                # "the collection of allocated objects in the region can
+                # be deallocated all at once").
+                resources[rank].allocator.reset_all()
+
+                stop = True
+                if rank == 0:
+                    merged: dict[Any, Any] = {}
+                    for part_out in gathered:
+                        merged.update(part_out)
+                    final_output.clear()
+                    final_output.update(merged)
+                    if iterative:
+                        app.update(merged)
+                        stop = app.converged or (iteration + 1) >= max_iterations
+                    iteration_log.add(
+                        IterationStats(
+                            index=iteration,
+                            start=iter_start,
+                            end=engine.now,
+                            network_bytes=world.bytes_sent - net_before,
+                            map_pairs=len(pairs),
+                        )
+                    )
+                    iterations_done[0] = iteration + 1
+                if iterative:
+                    stop = yield from comm.bcast(
+                        stop if rank == 0 else None, root=0, tag=4000 + iteration
+                    )
+                if stop or not iterative:
+                    break
+                iteration += 1
+
+        run_spmd(world, worker)
+
+        return JobResult(
+            output=dict(final_output),
+            makespan=engine.now,
+            trace=trace,
+            splits=[
+                s.split_decision
+                for s in schedulers
+                if s.split_decision is not None
+            ],
+            iterations=iterations_done[0],
+            total_flops=trace.total_flops(),
+            network_bytes=world.bytes_sent,
+            iteration_log=iteration_log,
+        )
+
+    # ------------------------------------------------------------------
+    def _partition_input(self, app: MapReduceApp) -> list[list[Block]]:
+        """Level-1 partitioning: node shares, then partitions per node."""
+        cluster = self.cluster
+        config = self.config
+        n_items = app.n_items()
+        require_positive_int("app.n_items()", n_items)
+
+        if cluster.is_homogeneous:
+            weights = [1.0] * cluster.n_nodes
+        else:
+            weights = node_partition_weights(
+                cluster,
+                app.intensity(),
+                staged=not app.iterative,
+                partition_bytes=max(app.total_bytes(), 1.0),
+                use_cpu=config.use_cpu,
+                gpus_per_node=config.gpus_per_node if config.use_gpu else 0,
+            )
+        node_ranges = weighted_partition(n_items, weights)
+        out: list[list[Block]] = []
+        for lo, hi in node_ranges:
+            node_block = Block(lo, hi)
+            out.append(
+                [
+                    b
+                    for b in node_block.split(config.partitions_per_node)
+                    if b.n_items > 0
+                ]
+            )
+        return out

@@ -1,0 +1,247 @@
+"""The two-level scheduler (paper §III.B.2).
+
+Level 1 — the **task scheduler** on the master — lives in
+:mod:`repro.runtime.prs`: it partitions the input (two partitions per fat
+node by default) and ships partitions to workers.
+
+Level 2 — the **sub-task scheduler** on each worker — is
+:class:`SubTaskScheduler` here.  It supports the paper's two strategies:
+
+* **static** — split the partition between the CPU and GPU daemons by the
+  analytic fraction ``p`` of Equation (8), then choose per-device
+  granularities per §III.B.3b (CPU: ``multiplier x cores`` blocks; GPU:
+  streams when Equation (9)/(11) say they pay off);
+* **dynamic** — chop the partition into fixed-size blocks that idle
+  device daemons poll from a shared queue ("it is non-trivial work to find
+  out the appropriate block sizes" — the ablation benchmark shows exactly
+  that sensitivity).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from repro.core.analytic import SplitDecision, multi_device_split, workload_split
+from repro.core.granularity import plan_granularity
+from repro.runtime.api import Block, MapReduceApp
+from repro.runtime.daemons import CpuDaemon, GpuDaemon, NodeResources
+from repro.runtime.job import JobConfig, Scheduling
+from repro.runtime.shuffle import KeyValue
+from repro.simulate.engine import Event
+from repro.simulate.trace import Trace
+
+
+class SubTaskScheduler:
+    """Level-2 scheduler: runs partitions on one fat node's devices."""
+
+    def __init__(
+        self,
+        resources: NodeResources,
+        app: MapReduceApp,
+        config: JobConfig,
+        trace: Trace,
+    ) -> None:
+        self.res = resources
+        self.app = app
+        self.config = config
+        self.trace = trace
+        node = resources.node
+
+        self.cpu_daemon: CpuDaemon | None = None
+        if config.use_cpu:
+            self.cpu_daemon = CpuDaemon(resources, app, config, trace)
+
+        self.gpu_daemons: list[GpuDaemon] = []
+        if config.use_gpu:
+            n = min(config.gpus_per_node, len(resources.gpu_engines))
+            self.gpu_daemons = [
+                GpuDaemon(resources, i, app, config, trace)
+                for i in range(n)
+            ]
+
+        if self.cpu_daemon is None and not self.gpu_daemons:
+            raise ValueError(
+                f"node {node.name}: no device daemons engaged "
+                f"(use_cpu={config.use_cpu}, use_gpu={config.use_gpu}, "
+                f"node has {len(resources.gpu_engines)} GPU engines)"
+            )
+
+        self.split_decision = self._decide_split()
+
+    # ------------------------------------------------------------------
+    def _decide_split(self) -> SplitDecision | None:
+        """Equation (8) for this node, honouring config overrides.
+
+        Returns ``None`` when only one device class is engaged (nothing to
+        split).
+        """
+        if self.cpu_daemon is None or not self.gpu_daemons:
+            return None
+        node = self.res.node
+        staged = not self.app.iterative
+        decision = workload_split(
+            node,
+            self.app.intensity(),
+            gpu_intensity=self.app.gpu_intensity(),
+            staged=staged,
+            partition_bytes=max(self.app.total_bytes(), 1.0),
+        )
+        if self.config.force_cpu_fraction is not None:
+            decision = SplitDecision(
+                p=self.config.force_cpu_fraction,
+                cpu_rate=decision.cpu_rate,
+                gpu_rate=decision.gpu_rate,
+                regime=decision.regime,
+                cpu_ridge=decision.cpu_ridge,
+                gpu_ridge=decision.gpu_ridge,
+            )
+        return decision
+
+    def device_weights(self) -> list[float]:
+        """Work fractions per engaged device: [cpu?, gpu0, gpu1, ...]."""
+        if self.cpu_daemon is not None and not self.gpu_daemons:
+            return [1.0]
+        if self.cpu_daemon is None:
+            # GPUs only: equal split across identical cards.
+            n = len(self.gpu_daemons)
+            return [1.0 / n] * n
+        assert self.split_decision is not None
+        p = self.split_decision.p
+        n = len(self.gpu_daemons)
+        if n == 1:
+            return [p, 1.0 - p]
+        # Several GPUs: Equation (5) generalised across the device set.
+        devices = [self.res.node.cpu] + [d.gpu for d in self.gpu_daemons]
+        staged = not self.app.iterative
+        fractions = multi_device_split(
+            devices,
+            self.app.intensity(),
+            staged=staged,
+            partition_bytes=max(self.app.total_bytes(), 1.0),
+        )
+        if self.config.force_cpu_fraction is not None:
+            forced = self.config.force_cpu_fraction
+            rest = sum(fractions[1:])
+            scale = (1.0 - forced) / rest if rest > 0 else 0.0
+            fractions = [forced] + [f * scale for f in fractions[1:]]
+        return fractions
+
+    # ------------------------------------------------------------------
+    # Map phase
+    # ------------------------------------------------------------------
+    def run_map_partition(
+        self, partition: Block, sink: list[KeyValue]
+    ) -> Generator[Event, Any, None]:
+        """Process fragment: map *partition* with the configured strategy."""
+        if partition.n_items == 0:
+            return
+        if self.config.scheduling is Scheduling.STATIC:
+            yield from self._run_static(partition, sink)
+        else:
+            yield from self._run_dynamic(partition, sink)
+
+    def _run_static(
+        self, partition: Block, sink: list[KeyValue]
+    ) -> Generator[Event, Any, None]:
+        engine = self.res.engine
+        weights = self.device_weights()
+        from repro.runtime.partition import weighted_partition
+
+        ranges = weighted_partition(partition.n_items, weights)
+        sub_parts = [
+            Block(partition.start + lo, partition.start + hi) for lo, hi in ranges
+        ]
+        procs = []
+        idx = 0
+        if self.cpu_daemon is not None:
+            cpu_part = sub_parts[idx]
+            idx += 1
+            if cpu_part.n_items > 0:
+                from repro.core.granularity import cpu_block_count
+
+                n_blocks = cpu_block_count(
+                    self.res.node.cpu.cores, self.config.cpu_block_multiplier
+                )
+                blocks = cpu_part.split(min(n_blocks, cpu_part.n_items))
+                procs.append(
+                    engine.process(
+                        self.cpu_daemon.run_map_blocks(blocks, sink), name="cpu-d"
+                    )
+                )
+        for daemon in self.gpu_daemons:
+            gpu_part = sub_parts[idx]
+            idx += 1
+            if gpu_part.n_items == 0:
+                continue
+            plan = plan_granularity(
+                daemon.gpu,
+                self.res.node.cpu.cores,
+                self.app.gpu_intensity(),
+                self.app.block_bytes(gpu_part),
+                cpu_multiplier=self.config.cpu_block_multiplier,
+                overlap_threshold=self.config.overlap_threshold,
+            )
+            blocks = gpu_part.split(min(plan.gpu_blocks, gpu_part.n_items))
+            n_streams = plan.gpu_blocks if plan.use_streams else 1
+            procs.append(
+                engine.process(
+                    daemon.run_map_blocks(blocks, sink, n_streams=n_streams),
+                    name="gpu-d",
+                )
+            )
+        yield engine.all_of(procs)
+
+    def _run_dynamic(
+        self, partition: Block, sink: list[KeyValue]
+    ) -> Generator[Event, Any, None]:
+        engine = self.res.engine
+        queue: deque[Block] = deque(
+            partition.split(min(self.config.dynamic_blocks, partition.n_items))
+        )
+
+        # NB: pollers are generators evaluated lazily — the daemon each one
+        # drives must be bound at definition time (default argument), not
+        # via the enclosing scope, or a later loop variable would rebind it.
+        def cpu_poller(d: CpuDaemon) -> Generator[Event, Any, None]:
+            while queue:
+                block = queue.popleft()
+                yield from d.run_map_block(block, sink)
+
+        def gpu_poller(d: GpuDaemon) -> Generator[Event, Any, None]:
+            while queue:
+                block = queue.popleft()
+                yield from d.run_map_block(block, sink)
+
+        procs = []
+        if self.cpu_daemon is not None:
+            # One poller per core: each holds one core at a time, so the
+            # pool stays saturated while work remains.
+            for _ in range(self.res.node.cpu.cores):
+                procs.append(
+                    engine.process(cpu_poller(self.cpu_daemon), name="cpu-poll")
+                )
+        for gpu_daemon in self.gpu_daemons:
+            procs.append(
+                engine.process(gpu_poller(gpu_daemon), name="gpu-poll")
+            )
+
+        yield engine.all_of(procs)
+
+    # ------------------------------------------------------------------
+    # Reduce phase
+    # ------------------------------------------------------------------
+    def run_reduce(
+        self, groups: dict[Any, list[Any]], sink: dict[Any, Any]
+    ) -> Generator[Event, Any, None]:
+        """Process fragment: reduce the key groups on this node.
+
+        Reduce tasks go to the CPU daemon when it is engaged (they are
+        small aggregations); GPU-only jobs run them as GPU kernels.
+        """
+        if not groups:
+            return
+        if self.cpu_daemon is not None:
+            yield from self.cpu_daemon.run_reduce(groups, sink)
+        else:
+            yield from self.gpu_daemons[0].run_reduce(groups, sink)

@@ -1,0 +1,87 @@
+"""Intermediate key grouping and bucket exchange (map -> reduce).
+
+Paper §III.A.2: "The intermediate data located in GPU memory will be
+copied/sorted to/in CPU memory after all map tasks on local node are done.
+Then the PRS scheduler shuffles all intermediate key/value pairs across the
+cluster so that the pairs with the same key are stored consecutively in a
+bucket on the same node."
+
+Functionally this module provides deterministic group-by-key, hash
+partitioning of keys onto nodes, and the optional combiner pass; the
+timing of the exchange itself is paid through :mod:`repro.comm.mpi`
+messages by the runtime.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Sequence
+
+from repro._validation import require_positive_int
+
+KeyValue = tuple[Any, Any]
+
+
+def group_by_key(pairs: Iterable[KeyValue]) -> dict[Any, list[Any]]:
+    """Group values by key, preserving emission order within a key."""
+    groups: dict[Any, list[Any]] = defaultdict(list)
+    for key, value in pairs:
+        groups[key].append(value)
+    return dict(groups)
+
+
+def bucket_of(key: Any, n_buckets: int) -> int:
+    """Deterministic bucket (node) index for *key*.
+
+    Uses a string-based hash rather than :func:`hash` so the placement is
+    stable across processes and Python hash randomization — simulations
+    must be reproducible.
+    """
+    require_positive_int("n_buckets", n_buckets)
+    h = 0
+    for ch in repr(key):
+        h = (h * 131 + ord(ch)) % (1 << 31)
+    return h % n_buckets
+
+
+def hash_partition(
+    pairs: Iterable[KeyValue], n_buckets: int
+) -> list[list[KeyValue]]:
+    """Split *pairs* into per-node buckets by key hash."""
+    buckets: list[list[KeyValue]] = [[] for _ in range(n_buckets)]
+    for key, value in pairs:
+        buckets[bucket_of(key, n_buckets)].append((key, value))
+    return buckets
+
+
+def apply_combiner(
+    pairs: Iterable[KeyValue],
+    combiner: Callable[[Any, list[Any]], Any],
+) -> list[KeyValue]:
+    """Run the optional combiner: collapse each key's values locally.
+
+    This is the node-local pre-reduction the paper's ``cpu_combiner`` /
+    ``gpu_device_combiner`` functions perform before the shuffle, shrinking
+    the bytes crossing the network.
+    """
+    return [
+        (key, combiner(key, values)) for key, values in group_by_key(pairs).items()
+    ]
+
+
+def sort_pairs(
+    pairs: Sequence[KeyValue],
+    compare: Callable[[Any, Any], int] | None = None,
+) -> list[KeyValue]:
+    """Sort pairs by key using the app's ``compare`` (Table 1) if given.
+
+    ``compare(k1, k2)`` follows C conventions: negative / zero / positive.
+    Without a comparator, keys must be natively orderable.
+    """
+    if compare is None:
+        return sorted(pairs, key=lambda kv: kv[0])
+    import functools
+
+    return sorted(pairs, key=functools.cmp_to_key(
+        lambda a, b: compare(a[0], b[0])
+    ))

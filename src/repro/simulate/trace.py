@@ -1,0 +1,207 @@
+"""Execution traces of simulated runs.
+
+Every simulated activity (kernel, memory copy, network message, CPU block)
+appends a :class:`TaskRecord`; :class:`Trace` aggregates them into the
+utilization and timeline views the benchmarks report.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One timed activity in a simulation.
+
+    ``kind`` is a short category tag: ``"compute"``, ``"h2d"``, ``"d2h"``,
+    ``"net"``, ``"shuffle"``, ``"reduce"``, ``"overhead"`` ...
+    """
+
+    label: str
+    device: str
+    kind: str
+    start: float
+    end: float
+    nbytes: float = 0.0
+    flops: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"task {self.label!r}: end {self.end} precedes start {self.start}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Trace:
+    """An append-only log of :class:`TaskRecord` with summary queries."""
+
+    def __init__(self) -> None:
+        self._records: list[TaskRecord] = []
+
+    # ------------------------------------------------------------------
+    def add(self, record: TaskRecord) -> None:
+        self._records.append(record)
+
+    def record(
+        self,
+        label: str,
+        device: str,
+        kind: str,
+        start: float,
+        end: float,
+        nbytes: float = 0.0,
+        flops: float = 0.0,
+    ) -> None:
+        self.add(TaskRecord(label, device, kind, start, end, nbytes, flops))
+
+    # ------------------------------------------------------------------
+    @property
+    def records(self) -> tuple[TaskRecord, ...]:
+        return tuple(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def filter(
+        self, device: str | None = None, kind: str | None = None
+    ) -> list[TaskRecord]:
+        out = self._records
+        if device is not None:
+            out = [r for r in out if r.device == device]
+        if kind is not None:
+            out = [r for r in out if r.kind == kind]
+        return list(out)
+
+    @property
+    def makespan(self) -> float:
+        """Latest end time across all records (0 for an empty trace)."""
+        return max((r.end for r in self._records), default=0.0)
+
+    def busy_time(self, device: str, kind: str | None = None) -> float:
+        """Union length of the busy intervals of *device*.
+
+        Overlapping records (e.g. two streams on one GPU) are merged so a
+        device can never appear more than 100 % utilized.
+        """
+        intervals = sorted(
+            (r.start, r.end) for r in self.filter(device=device, kind=kind)
+        )
+        total = 0.0
+        cur_start: float | None = None
+        cur_end = 0.0
+        for start, end in intervals:
+            if cur_start is None:
+                cur_start, cur_end = start, end
+            elif start <= cur_end:
+                cur_end = max(cur_end, end)
+            else:
+                total += cur_end - cur_start
+                cur_start, cur_end = start, end
+        if cur_start is not None:
+            total += cur_end - cur_start
+        return total
+
+    def utilization(self, device: str, kind: str | None = None) -> float:
+        """Busy fraction of *device* over the whole makespan."""
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        return self.busy_time(device, kind) / span
+
+    def devices(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for r in self._records:
+            seen.setdefault(r.device, None)
+        return list(seen)
+
+    def total_flops(self, device: str | None = None) -> float:
+        recs = self._records if device is None else self.filter(device=device)
+        return sum(r.flops for r in recs)
+
+    def total_bytes(self, device: str | None = None, kind: str | None = None) -> float:
+        return sum(r.nbytes for r in self.filter(device=device, kind=kind))
+
+    # ------------------------------------------------------------------
+    def gantt(self, width: int = 72) -> str:
+        """Render a coarse per-device text timeline (debug aid)."""
+        span = self.makespan
+        if span <= 0:
+            return "(empty trace)"
+        glyph = {"compute": "#", "h2d": ">", "d2h": "<", "net": "~"}
+        lines = []
+        for device in self.devices():
+            row = [" "] * width
+            for r in self.filter(device=device):
+                lo = int(r.start / span * (width - 1))
+                hi = max(lo + 1, int(r.end / span * (width - 1)) + 1)
+                ch = glyph.get(r.kind, "*")
+                for i in range(lo, min(hi, width)):
+                    row[i] = ch
+            lines.append(f"{device:>16s} |{''.join(row)}|")
+        lines.append(f"{'':>16s}  0{'':{width - 10}}{span:.3e}s")
+        return "\n".join(lines)
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-device totals: busy seconds, flops, bytes, utilization."""
+        out: dict[str, dict[str, float]] = {}
+        for device in self.devices():
+            out[device] = {
+                "busy": self.busy_time(device),
+                "flops": self.total_flops(device),
+                "bytes": self.total_bytes(device),
+                "utilization": self.utilization(device),
+            }
+        return out
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    _CSV_HEADER = "label,device,kind,start,end,nbytes,flops"
+
+    def to_csv(self) -> str:
+        """Render the trace as CSV (one record per line, header first).
+
+        Labels containing commas or quotes are quoted per RFC 4180.
+        """
+        def quote(text: str) -> str:
+            if "," in text or '"' in text or "\n" in text:
+                return '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [self._CSV_HEADER]
+        for r in self._records:
+            lines.append(
+                f"{quote(r.label)},{quote(r.device)},{quote(r.kind)},"
+                f"{r.start!r},{r.end!r},{r.nbytes!r},{r.flops!r}"
+            )
+        return "\n".join(lines)
+
+    def to_records(self) -> list[dict]:
+        """Plain-dict view of every record (JSON-serializable)."""
+        return [
+            {
+                "label": r.label,
+                "device": r.device,
+                "kind": r.kind,
+                "start": r.start,
+                "end": r.end,
+                "nbytes": r.nbytes,
+                "flops": r.flops,
+            }
+            for r in self._records
+        ]
+
+    @classmethod
+    def from_records(cls, records: list[dict]) -> "Trace":
+        """Rebuild a trace from :meth:`to_records` output."""
+        trace = cls()
+        for rec in records:
+            trace.record(**rec)
+        return trace

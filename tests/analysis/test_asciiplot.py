@@ -1,0 +1,67 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.analysis.asciiplot import bar_chart, loglog_plot
+
+
+class TestLogLogPlot:
+    def test_renders_frame_and_legend(self):
+        text = loglog_plot(
+            {"a": ([1, 10, 100], [1, 10, 100])},
+            xlabel="A", ylabel="GF/s",
+        )
+        assert "legend: * a" in text
+        assert "GF/s (log)" in text
+        assert "*" in text
+
+    def test_multiple_series_distinct_markers(self):
+        text = loglog_plot(
+            {"one": ([1, 10], [1, 10]), "two": ([1, 10], [10, 100])}
+        )
+        assert "* one" in text and "o two" in text
+        assert "o" in text.splitlines()[1] or any(
+            "o" in line for line in text.splitlines()[:-1]
+        )
+
+    def test_monotone_series_ascends(self):
+        """A rising curve's markers must climb from bottom-left to
+        top-right of the canvas."""
+        text = loglog_plot({"up": ([1, 10, 100, 1000], [1, 10, 100, 1000])},
+                           width=40, height=10)
+        rows = [i for i, line in enumerate(text.splitlines()) if "*" in line]
+        cols = []
+        for line in text.splitlines():
+            if "*" in line:
+                cols.append(line.index("*"))
+        assert rows == sorted(rows)          # top to bottom
+        assert cols == sorted(cols, reverse=True)  # and left to right
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            loglog_plot({"x": ([], [])})
+
+    def test_ignores_nonpositive_points(self):
+        text = loglog_plot({"a": ([0, 1, 10], [5, 1, 10])})
+        assert "legend" in text
+
+
+class TestBarChart:
+    def test_groups_and_values(self):
+        text = bar_chart(
+            {"gemv": {"GPU": 2.0, "GPU+CPU": 20.0}},
+            width=20, unit=" GF/s",
+        )
+        assert "gemv GPU " in text
+        assert "20 GF/s" in text
+
+    def test_bars_scale_to_max(self):
+        text = bar_chart({"g": {"small": 1.0, "big": 10.0}}, width=10)
+        lines = [l for l in text.splitlines() if "|" in l]
+        small = lines[0].count("#")
+        big = lines[1].count("#")
+        assert big == 10 and small == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bar_chart({})

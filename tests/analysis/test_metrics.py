@@ -1,0 +1,142 @@
+"""Tests for clustering metrics and PCA projection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.metrics import (
+    adjusted_rand_index,
+    average_cluster_width,
+    best_label_matching,
+    cluster_overlap,
+    contingency,
+)
+from repro.analysis.projection import pca_project
+from repro.data.synth import gaussian_mixture
+
+
+class TestAverageWidth:
+    def test_tight_clusters_small_width(self):
+        pts, labels, _ = gaussian_mixture(500, 3, 2, seed=1, cluster_std=0.1)
+        assert average_cluster_width(pts, labels) < 0.5
+
+    def test_scales_with_std(self):
+        tight, lt, _ = gaussian_mixture(500, 3, 2, seed=1, cluster_std=0.5)
+        loose, ll, _ = gaussian_mixture(500, 3, 2, seed=1, cluster_std=2.0)
+        assert average_cluster_width(loose, ll) > average_cluster_width(tight, lt)
+
+    def test_singleton_cluster_zero_width(self):
+        pts = np.array([[0.0, 0.0], [5.0, 5.0]])
+        labels = np.array([0, 1])
+        assert average_cluster_width(pts, labels) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            average_cluster_width(np.zeros((3, 2)), np.zeros(2))
+
+
+class TestOverlap:
+    def test_identical_labels_perfect(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert cluster_overlap(labels, labels) == 1.0
+
+    def test_permuted_labels_perfect(self):
+        """Overlap must be label-permutation invariant."""
+        ref = np.array([0, 0, 1, 1, 2, 2])
+        permuted = np.array([2, 2, 0, 0, 1, 1])
+        assert cluster_overlap(permuted, ref) == 1.0
+
+    def test_partial_agreement(self):
+        ref = np.array([0, 0, 0, 1, 1, 1])
+        pred = np.array([0, 0, 1, 1, 1, 1])
+        assert cluster_overlap(pred, ref) == pytest.approx(5 / 6)
+
+    def test_matching_is_injective(self):
+        ref = np.array([0, 0, 1, 1])
+        pred = np.array([0, 1, 2, 2])
+        match = best_label_matching(pred, ref)
+        assert len(set(match.values())) == len(match)
+
+
+class TestARI:
+    def test_identical_is_one(self):
+        labels = np.array([0, 1, 0, 1, 2])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_permutation_invariant(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([1, 1, 0, 0])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=5000)
+        b = rng.integers(0, 4, size=5000)
+        assert abs(adjusted_rand_index(a, b)) < 0.02
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=2, max_size=60))
+    def test_bounded_above_by_one(self, raw):
+        a = np.array(raw)
+        rng = np.random.default_rng(1)
+        b = rng.integers(0, 3, size=len(raw))
+        assert adjusted_rand_index(a, b) <= 1.0 + 1e-12
+
+    def test_contingency_totals(self):
+        a = np.array([0, 0, 1])
+        b = np.array([1, 1, 0])
+        table = contingency(a, b)
+        assert table.sum() == 3
+        assert table[0, 1] == 2
+
+
+class TestPCA:
+    def test_projection_shape(self):
+        pts, _, _ = gaussian_mixture(100, 4, 2, seed=2)
+        proj, comps, ratio = pca_project(pts, 3)
+        assert proj.shape == (100, 3)
+        assert comps.shape == (3, 4)
+        assert ratio.shape == (3,)
+
+    def test_components_orthonormal(self):
+        pts, _, _ = gaussian_mixture(200, 4, 3, seed=3)
+        _, comps, _ = pca_project(pts, 3)
+        np.testing.assert_allclose(comps @ comps.T, np.eye(3), atol=1e-10)
+
+    def test_variance_ratio_ordered(self):
+        pts, _, _ = gaussian_mixture(200, 4, 3, seed=4)
+        _, _, ratio = pca_project(pts, 4)
+        assert np.all(np.diff(ratio) <= 1e-12)
+        assert ratio.sum() == pytest.approx(1.0)
+
+    def test_preserves_cluster_structure(self):
+        """4D->3D on separable clusters keeps them separable (Figure 5)."""
+        pts, labels, _ = gaussian_mixture(600, 4, 3, seed=5, spread=20.0)
+        proj, _, _ = pca_project(pts, 3)
+        from repro.apps.kmeans import nearest_centers
+
+        centers = np.array([proj[labels == j].mean(axis=0) for j in range(3)])
+        assigned = nearest_centers(proj, centers)
+        assert np.mean(assigned == labels) > 0.99
+
+    def test_too_many_components_rejected(self):
+        with pytest.raises(ValueError):
+            pca_project(np.zeros((5, 2)), 3)
+
+
+class TestFormatTable:
+    def test_renders_aligned(self):
+        from repro.analysis.tables import format_table
+
+        text = format_table(
+            ["app", "p"], [["gemv", 0.973], ["cmeans", 0.112]], title="Table 5"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 5"
+        assert "gemv" in text and "0.973" in text
+
+    def test_row_length_checked(self):
+        from repro.analysis.tables import format_table
+
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])

@@ -1,0 +1,76 @@
+"""Tests for the job-report renderer."""
+
+import pytest
+
+from repro.analysis.report import render_report
+from repro.hardware import delta_cluster
+from repro.runtime.job import JobConfig, Overheads
+from repro.runtime.prs import PRSRuntime
+
+from tests.helpers import CountdownApp, ModSumApp
+
+
+@pytest.fixture
+def cmeans_like_result(delta4):
+    app = CountdownApp(n=1_000_000, rounds=4)
+    # Quiet overheads so the iteration-0 PCI-E staging is visible rather
+    # than hidden behind CPU dispatch costs.
+    config = JobConfig(overheads=Overheads(0.0, 0.0, 0.0, 0.0))
+    return PRSRuntime(delta4, config).run(app), delta4
+
+
+class TestRenderReport:
+    def test_headline_fields(self, cmeans_like_result):
+        result, cluster = cmeans_like_result
+        text = render_report(result, cluster)
+        for needle in ("makespan", "iterations", "throughput",
+                       "network traffic", "per-node rate"):
+            assert needle in text
+
+    def test_scheduling_section(self, cmeans_like_result):
+        result, cluster = cmeans_like_result
+        text = render_report(result, cluster)
+        assert "Equation 8" in text
+        assert "analytic p" in text
+        assert "executed split" in text
+
+    def test_per_device_table(self, cmeans_like_result):
+        result, cluster = cmeans_like_result
+        text = render_report(result, cluster)
+        assert "per-device activity" in text
+        assert "delta00.cpu" in text
+        assert "delta00.gpu0" in text
+
+    def test_iteration_section_with_staging_callout(self, cmeans_like_result):
+        result, cluster = cmeans_like_result
+        text = render_report(result, cluster)
+        assert "per-iteration timing" in text
+        assert "one-off staging overhead" in text
+
+    def test_gantt_optional(self, cmeans_like_result):
+        result, cluster = cmeans_like_result
+        assert "timeline:" not in render_report(result, cluster)
+        assert "timeline:" in render_report(result, cluster, gantt=True)
+
+    def test_single_iteration_job_has_no_iteration_table(self, delta4):
+        result = PRSRuntime(delta4, JobConfig()).run(ModSumApp(n=200))
+        text = render_report(result, delta4)
+        assert "per-iteration timing" not in text
+
+    def test_works_without_cluster(self, cmeans_like_result):
+        result, _ = cmeans_like_result
+        text = render_report(result)
+        assert "makespan" in text
+        assert "per-node rate" not in text
+
+    def test_cli_report_flag(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "run", "--app", "cmeans", "--size", "1000", "--nodes", "2",
+            "--iterations", "3", "--report",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-device activity" in out
+        assert "timeline:" in out

@@ -1,0 +1,60 @@
+"""Tests for the batched FFT application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.fft import FftApp
+from repro.core.analytic import Regime, workload_split
+from repro.runtime.api import Block
+from repro.runtime.shuffle import group_by_key
+
+
+def run_map_all(app, block_size=16):
+    pairs = []
+    for lo in range(0, app.n_items(), block_size):
+        pairs.extend(app.cpu_map(Block(lo, min(lo + block_size, app.n_items()))))
+    return {k: app.cpu_reduce(k, vs) for k, vs in group_by_key(pairs).items()}
+
+
+class TestFftApp:
+    def test_matches_numpy_reference(self):
+        app = FftApp.random(64, signal_length=256, seed=1)
+        spectra = app.assemble(run_map_all(app))
+        np.testing.assert_allclose(spectra, app.reference(), rtol=1e-3, atol=1e-2)
+
+    def test_intensity_formula(self):
+        app = FftApp.random(4, signal_length=1024)
+        assert app.intensity().at(1e6) == pytest.approx(5.0 * 10.0 / 8.0)
+
+    def test_middle_regime_on_delta(self, delta):
+        """FFT lands in the mixed-split middle of Figure 4."""
+        app = FftApp.random(4, signal_length=1024)
+        d = workload_split(delta, app.intensity(), staged=True)
+        assert d.regime is Regime.BETWEEN_RIDGES
+        assert 0.3 < d.p < 0.99  # genuinely mixed
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            FftApp(np.zeros((4, 100), dtype=np.complex64))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            FftApp(np.zeros(16, dtype=np.complex64))
+
+    def test_assemble_detects_gaps(self):
+        app = FftApp.random(8, signal_length=4)
+        with pytest.raises(RuntimeError, match="assembled"):
+            app.assemble({(0, 4): np.zeros((4, 4), dtype=np.complex64)})
+
+    def test_runs_on_prs(self, delta4):
+        from repro.runtime.job import JobConfig
+        from repro.runtime.prs import PRSRuntime
+
+        app = FftApp.random(128, signal_length=128, seed=2)
+        result = PRSRuntime(delta4, JobConfig()).run(app)
+        spectra = app.assemble(result.output)
+        np.testing.assert_allclose(
+            spectra, app.reference(), rtol=1e-3, atol=1e-2
+        )
+        # mixed split: both devices contribute
+        assert 0.3 < result.splits[0].p < 0.99

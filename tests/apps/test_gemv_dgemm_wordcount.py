@@ -1,0 +1,137 @@
+"""Tests for the GEMV, DGEMM and word-count applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps.dgemm import DgemmApp, RowBlockGemmIntensity
+from repro.apps.gemv import GemvApp
+from repro.apps.wordcount import WordCountApp
+from repro.data.synth import random_matrix, random_vector, text_corpus
+from repro.runtime.api import Block
+from repro.runtime.shuffle import group_by_key
+
+
+def run_map_all(app, block_size=64):
+    pairs = []
+    for lo in range(0, app.n_items(), block_size):
+        pairs.extend(app.cpu_map(Block(lo, min(lo + block_size, app.n_items()))))
+    return {k: app.cpu_reduce(k, vs) for k, vs in group_by_key(pairs).items()}
+
+
+class TestGemv:
+    def test_result_matches_numpy(self):
+        a = random_matrix(200, 50, seed=1)
+        x = random_vector(50, seed=2)
+        app = GemvApp(a, x)
+        y = app.assemble(run_map_all(app))
+        np.testing.assert_allclose(y, app.reference(), rtol=1e-4)
+
+    def test_block_size_invariance(self):
+        a = random_matrix(100, 30, seed=3)
+        x = random_vector(30, seed=4)
+        app = GemvApp(a, x)
+        y1 = app.assemble(run_map_all(app, 7))
+        y2 = app.assemble(run_map_all(app, 64))
+        # float32 BLAS accumulates in block-size-dependent order
+        np.testing.assert_allclose(y1, y2, rtol=1e-3, atol=1e-4)
+
+    def test_gpu_host_map_preferred(self):
+        a = random_matrix(10, 5)
+        app = GemvApp(a, random_vector(5))
+        assert app.has_gpu_host_map()
+        # gpu_map dispatches through the host (cuBLAS-style) path
+        out = app.gpu_map(Block(0, 10))
+        np.testing.assert_allclose(out[0][1], app.cpu_map(Block(0, 10))[0][1])
+
+    def test_intensity_is_two(self):
+        app = GemvApp(random_matrix(10, 5), random_vector(5))
+        assert app.intensity().at(1e6) == 2.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            GemvApp(random_matrix(10, 5), random_vector(7))
+
+    def test_assemble_detects_missing_rows(self):
+        a = random_matrix(10, 5)
+        app = GemvApp(a, random_vector(5))
+        partial = {(0, 5): np.zeros(5)}
+        with pytest.raises(RuntimeError, match="assembled"):
+            app.assemble(partial)
+
+    def test_item_bytes(self):
+        a = random_matrix(10, 5)  # float32
+        app = GemvApp(a, random_vector(5))
+        assert app.item_bytes() == 20.0
+
+
+class TestDgemm:
+    def test_result_matches_numpy(self):
+        a = random_matrix(60, 20, seed=5)
+        b = random_matrix(20, 15, seed=6)
+        app = DgemmApp(a, b)
+        c = app.assemble(run_map_all(app, block_size=16))
+        np.testing.assert_allclose(c, app.reference(), rtol=1e-4)
+
+    def test_intensity_grows_with_block(self):
+        prof = RowBlockGemmIntensity(n_inner=100, n_out=100)
+        assert prof.at(1e7) > prof.at(1e4)
+
+    def test_intensity_saturates_at_half_k(self):
+        prof = RowBlockGemmIntensity(n_inner=100, n_out=200)
+        assert prof.at(1e15) < 100.0
+        assert prof.at(1e15) == pytest.approx(100.0, rel=1e-3)
+
+    def test_inverse_roundtrip(self):
+        prof = RowBlockGemmIntensity(n_inner=64, n_out=128)
+        for target in (1.0, 10.0, 60.0):
+            nbytes = prof.inverse(target)
+            assert prof.at(nbytes) == pytest.approx(target, rel=1e-9)
+
+    def test_inverse_beyond_saturation_raises(self):
+        prof = RowBlockGemmIntensity(n_inner=64, n_out=128)
+        with pytest.raises(ValueError, match="saturates"):
+            prof.inverse(64.0)
+
+    def test_minbs_defined_on_delta(self, delta):
+        """BLAS3 has a real MinBs (Equation 11) on the Delta GPU."""
+        from repro.core.granularity import min_block_size
+
+        a = random_matrix(10, 512, seed=0)
+        b = random_matrix(512, 4096, seed=1)
+        app = DgemmApp(a, b)
+        minbs = min_block_size(delta.gpu, app.intensity())
+        assert minbs > 0
+        assert app.intensity().at(minbs) == pytest.approx(
+            delta.gpu.ridge_point(staged=True), rel=1e-6
+        )
+
+    def test_inner_dim_validation(self):
+        with pytest.raises(ValueError):
+            DgemmApp(random_matrix(5, 4), random_matrix(5, 4))
+
+
+class TestWordCount:
+    def test_counts_match_reference(self):
+        docs = text_corpus(30, words_per_doc=80, seed=7)
+        app = WordCountApp(docs)
+        counts = run_map_all(app, block_size=7)
+        assert counts == app.reference()
+
+    def test_combiner_matches_reduce(self):
+        docs = text_corpus(10, seed=8)
+        app = WordCountApp(docs)
+        assert app.has_combiner()
+        assert app.combiner("x", [1, 2, 3]) == app.cpu_reduce("x", [1, 2, 3])
+
+    def test_low_intensity_routes_to_cpu(self, delta):
+        """Figure 4 low end: word count must get a CPU-dominated split."""
+        from repro.core.analytic import workload_split
+
+        docs = text_corpus(5, seed=9)
+        app = WordCountApp(docs)
+        decision = workload_split(delta, app.intensity(), staged=True)
+        assert decision.p > 0.95
+
+    def test_requires_documents(self):
+        with pytest.raises(ValueError):
+            WordCountApp([])

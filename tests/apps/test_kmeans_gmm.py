@@ -1,0 +1,181 @@
+"""Tests for K-means and GMM EM applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps.gmm import GMMApp, gmm_responsibilities, log_gaussian_pdf
+from repro.apps.kmeans import KMeansApp, nearest_centers
+from repro.data.synth import gaussian_mixture
+from repro.runtime.api import Block
+from repro.runtime.shuffle import group_by_key
+
+
+def drive(app, iterations=None, block=128):
+    limit = iterations if iterations is not None else app.max_iterations
+    done = 0
+    for _ in range(limit):
+        pairs = []
+        for lo in range(0, app.n_items(), block):
+            pairs.extend(app.cpu_map(Block(lo, min(lo + block, app.n_items()))))
+        reduced = {k: app.cpu_reduce(k, vs) for k, vs in group_by_key(pairs).items()}
+        app.update(reduced)
+        done += 1
+        if iterations is None and app.converged:
+            break
+    return done
+
+
+class TestKMeans:
+    def test_sse_monotone_decreasing(self):
+        pts, _, _ = gaussian_mixture(500, 4, 3, seed=1)
+        app = KMeansApp(pts, 3, seed=2)
+        drive(app, iterations=6)
+        hist = app.sse_history
+        assert all(b <= a * (1 + 1e-9) for a, b in zip(hist, hist[1:]))
+
+    def test_converges_and_recovers_centers(self):
+        pts, _, true_centers = gaussian_mixture(2000, 3, 3, seed=4, spread=25.0)
+        app = KMeansApp(pts, 3, seed=5, max_iterations=40)
+        drive(app)
+        assert app.converged
+        for tc in true_centers.astype(np.float64):
+            assert np.min(np.linalg.norm(app.centers - tc, axis=1)) < 1.0
+
+    def test_block_invariance(self):
+        pts, _, _ = gaussian_mixture(400, 3, 2, seed=6)
+
+        def run(bs):
+            app = KMeansApp(pts, 2, seed=3)
+            drive(app, iterations=4, block=bs)
+            return app.centers
+
+        np.testing.assert_allclose(run(50), run(173), rtol=1e-9)
+
+    def test_labels_are_nearest(self):
+        pts, _, _ = gaussian_mixture(200, 2, 2, seed=7)
+        app = KMeansApp(pts, 2, seed=7)
+        drive(app, iterations=3)
+        np.testing.assert_array_equal(
+            app.labels(), nearest_centers(pts, app.centers)
+        )
+
+    def test_empty_cluster_keeps_center(self):
+        pts = np.array([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1]], dtype=np.float32)
+        app = KMeansApp(pts, 2, seed=0)
+        # Force a far-away center that will capture no points.
+        app.centers[1] = np.array([100.0, 100.0])
+        before = app.centers[1].copy()
+        drive(app, iterations=1)
+        np.testing.assert_array_equal(app.centers[1], before)
+
+    def test_kmeans_intensity_below_cmeans(self):
+        pts, _, _ = gaussian_mixture(100, 2, 2, seed=0)
+        from repro.apps.cmeans import CMeansApp
+
+        k = KMeansApp(pts, 2)
+        c = CMeansApp(pts, 2)
+        assert k.intensity().at(1e6) < c.intensity().at(1e6)
+
+
+class TestGaussianPdf:
+    def test_standard_normal_at_origin(self):
+        # log N(0 | 0, I) in 2-D = -log(2 pi)
+        val = log_gaussian_pdf(
+            np.zeros((1, 2)), np.zeros(2), np.eye(2)
+        )
+        assert val[0] == pytest.approx(-np.log(2 * np.pi))
+
+    def test_matches_scipy(self):
+        from scipy.stats import multivariate_normal
+
+        rng = np.random.default_rng(3)
+        mean = rng.normal(size=3)
+        a = rng.normal(size=(3, 3))
+        cov = a @ a.T + np.eye(3)
+        x = rng.normal(size=(20, 3))
+        ours = log_gaussian_pdf(x, mean, cov)
+        ref = multivariate_normal(mean, cov).logpdf(x)
+        np.testing.assert_allclose(ours, ref, rtol=1e-9)
+
+
+class TestGMM:
+    def test_responsibilities_sum_to_one(self):
+        pts, _, _ = gaussian_mixture(200, 3, 2, seed=1)
+        app = GMMApp(pts, 2, seed=1)
+        gamma, ll = gmm_responsibilities(
+            pts.astype(np.float64), app.weights, app.means, app.covariances
+        )
+        np.testing.assert_allclose(gamma.sum(axis=1), 1.0, rtol=1e-9)
+        assert np.isfinite(ll)
+
+    def test_loglik_monotone_nondecreasing(self):
+        """EM guarantee: log-likelihood never drops."""
+        pts, _, _ = gaussian_mixture(600, 3, 3, seed=2, spread=8.0)
+        app = GMMApp(pts, 3, seed=2)
+        drive(app, iterations=8)
+        hist = app.loglik_history
+        assert len(hist) == 8
+        assert all(b >= a - 1e-6 * abs(a) for a, b in zip(hist, hist[1:]))
+
+    def test_weights_stay_normalized(self):
+        pts, _, _ = gaussian_mixture(300, 2, 3, seed=3)
+        app = GMMApp(pts, 3, seed=3)
+        drive(app, iterations=5)
+        assert app.weights.sum() == pytest.approx(1.0)
+        assert np.all(app.weights >= 0)
+
+    def test_covariances_positive_definite(self):
+        pts, _, _ = gaussian_mixture(300, 4, 2, seed=4)
+        app = GMMApp(pts, 2, seed=4)
+        drive(app, iterations=5)
+        for cov in app.covariances:
+            eigvals = np.linalg.eigvalsh(cov)
+            assert np.all(eigvals > 0)
+
+    def test_recovers_mixture_parameters(self):
+        pts, labels, true_centers = gaussian_mixture(
+            3000, 2, 2, seed=5, spread=12.0, weights=np.array([0.7, 0.3])
+        )
+        app = GMMApp(pts, 2, seed=6, max_iterations=50)
+        drive(app)
+        # match components to truth by nearest mean
+        order = [
+            int(np.argmin(np.linalg.norm(app.means - tc, axis=1)))
+            for tc in true_centers.astype(np.float64)
+        ]
+        assert sorted(order) == [0, 1]
+        weights = app.weights[order]
+        np.testing.assert_allclose(weights, [0.7, 0.3], atol=0.05)
+
+    def test_converges_by_tolerance(self):
+        pts, _, _ = gaussian_mixture(500, 2, 2, seed=7, spread=15.0)
+        app = GMMApp(pts, 2, seed=7, tolerance=1e-6, max_iterations=100)
+        iters = drive(app)
+        assert app.converged
+        assert iters < 100
+
+    def test_block_invariance(self):
+        pts, _, _ = gaussian_mixture(300, 3, 2, seed=8)
+
+        def run(bs):
+            app = GMMApp(pts, 2, seed=8)
+            drive(app, iterations=3, block=bs)
+            return app.means
+
+        np.testing.assert_allclose(run(64), run(97), rtol=1e-7)
+
+    def test_combiner_associative(self):
+        pts, _, _ = gaussian_mixture(200, 3, 2, seed=9)
+        app = GMMApp(pts, 2, seed=9)
+        a = [v for k, v in app.cpu_map(Block(0, 100)) if k == 0]
+        b = [v for k, v in app.cpu_map(Block(100, 200)) if k == 0]
+        direct = app.cpu_reduce(0, a + b)
+        staged = app.cpu_reduce(0, [app.combiner(0, a), app.combiner(0, b)])
+        assert direct[0] == pytest.approx(staged[0])
+        np.testing.assert_allclose(direct[1], staged[1], rtol=1e-12)
+        np.testing.assert_allclose(direct[2], staged[2], rtol=1e-12)
+
+    def test_gmm_intensity_matches_table5(self):
+        pts, _, _ = gaussian_mixture(100, 60, 2, seed=0)
+        app = GMMApp(pts, 10, seed=0)
+        assert app.intensity().at(1e6) == 11.0 * 10 * 60

@@ -1,0 +1,63 @@
+"""Shared fixtures: the paper's hardware presets and small test rigs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.hardware import bigred2_node, delta_cluster, delta_node, generic_node
+
+# Hardware fixtures are frozen dataclasses: sharing one instance across the
+# examples hypothesis generates is safe, so the function-scoped-fixture
+# health check is a false positive here.  Deadlines are disabled because
+# simulation-heavy property tests have legitimately variable runtimes.
+settings.register_profile(
+    "repro",
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+    deadline=None,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def delta():
+    """A Delta fat node in the paper's experimental configuration (1 GPU)."""
+    return delta_node(n_gpus=1)
+
+
+@pytest.fixture
+def delta_two_gpus():
+    """A full Delta fat node (2 GPUs, as in Table 4)."""
+    return delta_node(n_gpus=2)
+
+
+@pytest.fixture
+def bigred2():
+    return bigred2_node()
+
+
+@pytest.fixture
+def delta4():
+    """The 4-node Delta cluster of Table 3."""
+    return delta_cluster(n_nodes=4, n_gpus=1)
+
+
+@pytest.fixture
+def delta8():
+    """The 8-node Delta cluster of Figure 6."""
+    return delta_cluster(n_nodes=8, n_gpus=1)
+
+
+@pytest.fixture
+def toy_node():
+    """A small generic fat node with easy round numbers."""
+    return generic_node(
+        name="toy",
+        cpu_gflops=100.0,
+        cpu_bandwidth=25.0,
+        cpu_cores=4,
+        gpu_gflops=1000.0,
+        gpu_bandwidth=100.0,
+        pcie_bandwidth=10.0,
+        gpu_cores=256,
+    )

@@ -1,0 +1,100 @@
+"""Tests for the Qilin-style adaptive mapper (profiling comparator)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.adaptive import (
+    AdaptiveMapper,
+    LinearFit,
+    roofline_slice_timer,
+)
+from repro.core.analytic import workload_split
+from repro.core.intensity import cmeans_intensity, gemv_intensity
+
+
+class TestLinearFit:
+    def test_evaluates(self):
+        fit = LinearFit(intercept=1.0, slope=0.5)
+        assert fit(10) == 6.0
+
+
+class TestTraining:
+    def test_training_sizes_bounded_by_fraction(self):
+        mapper = AdaptiveMapper(train_fraction=0.05, n_train_points=3)
+        sizes = mapper._training_sizes(100_000)
+        assert max(sizes) == 5000
+        assert len(sizes) <= 3
+
+    def test_fit_recovers_linear_model(self):
+        mapper = AdaptiveMapper()
+        fit = mapper._fit([10, 100, 1000], [1.2, 3.0, 21.0])
+        # slope = 0.02, intercept = 1.0 exactly for these points
+        assert fit.slope == pytest.approx(0.02, rel=1e-6)
+        assert fit.intercept == pytest.approx(1.0, rel=1e-6)
+
+    def test_database_skips_retraining(self, delta):
+        mapper = AdaptiveMapper()
+        calls = []
+
+        def timer(device, size):
+            calls.append((device, size))
+            return 1e-6 * size
+
+        mapper.decide("cmeans", 10_000, timer)
+        first = len(calls)
+        assert first > 0
+        decision = mapper.decide("cmeans", 10_000, timer)
+        assert len(calls) == first  # no new training runs
+        assert decision.from_database
+        assert decision.training_seconds == 0.0
+
+    def test_distinct_apps_train_separately(self):
+        mapper = AdaptiveMapper()
+        timer = lambda device, size: 1e-6 * size
+        mapper.decide("a", 1000, timer)
+        mapper.decide("b", 1000, timer)
+        assert len(mapper.database) == 4
+
+    def test_rejects_zero_train_fraction(self):
+        with pytest.raises(ValueError):
+            AdaptiveMapper(train_fraction=0.0)
+
+
+class TestDecisions:
+    def test_converges_to_analytic_p_low_intensity(self, delta):
+        """With perfect linear timings, Qilin's p must agree with the
+        analytic model's — the paper's point is the *overhead*, not the
+        answer."""
+        timer = roofline_slice_timer(delta, 2.0, item_bytes=256.0, staged=True)
+        decision = AdaptiveMapper().decide("gemv", 100_000, timer)
+        analytic = workload_split(delta, gemv_intensity(), staged=True)
+        assert decision.p == pytest.approx(analytic.p, abs=0.01)
+
+    def test_converges_to_analytic_p_high_intensity(self, delta):
+        timer = roofline_slice_timer(
+            delta, 500.0, item_bytes=400.0, staged=False
+        )
+        decision = AdaptiveMapper().decide("cmeans", 100_000, timer)
+        analytic = workload_split(delta, cmeans_intensity(100), staged=False)
+        assert decision.p == pytest.approx(analytic.p, abs=0.01)
+
+    def test_training_overhead_is_positive(self, delta):
+        timer = roofline_slice_timer(delta, 50.0, item_bytes=64.0)
+        decision = AdaptiveMapper().decide("x", 1_000_000, timer)
+        assert decision.training_seconds > 0.0
+
+    def test_degenerate_all_cpu(self, delta):
+        """If the GPU path is catastrophically slow, p -> 1."""
+        def timer(device, size):
+            return size * (1e-9 if device == "cpu" else 1e-3)
+
+        decision = AdaptiveMapper().decide("slowgpu", 10_000, timer)
+        assert decision.p > 0.99
+
+    @settings(max_examples=20, deadline=None)
+    @given(ai=st.floats(0.5, 5000.0))
+    def test_p_tracks_analytic_across_intensities(self, delta, ai):
+        timer = roofline_slice_timer(delta, ai, item_bytes=128.0, staged=True)
+        decision = AdaptiveMapper().decide(f"app{ai}", 200_000, timer)
+        analytic = workload_split(delta, ai, staged=True)
+        assert decision.p == pytest.approx(analytic.p, abs=0.02)

@@ -1,0 +1,141 @@
+"""Tests for task granularity (Equations 9-11, §III.B.3b)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.granularity import (
+    cpu_block_count,
+    min_block_size,
+    overlap_percentage,
+    plan_granularity,
+    should_use_streams,
+)
+from repro.core.intensity import (
+    ConstantIntensity,
+    cmeans_intensity,
+    dgemm_intensity,
+    gemv_intensity,
+)
+
+
+class TestOverlapPercentage:
+    def test_closed_form(self, delta):
+        """Check Equation (9) term by term on the Delta GPU."""
+        gpu = delta.gpu
+        bs, a_g = 1e6, 10.0
+        transfer = bs / gpu.dram_bandwidth + bs / gpu.pcie_bandwidth
+        compute = bs * a_g / gpu.peak_gflops
+        expected = transfer / (transfer + compute)
+        assert overlap_percentage(gpu, a_g, bs) == pytest.approx(expected)
+
+    def test_constant_intensity_block_size_invariant(self, delta):
+        """The B_s factors cancel for constant-AI applications."""
+        op1 = overlap_percentage(delta.gpu, 50.0, 1e5)
+        op2 = overlap_percentage(delta.gpu, 50.0, 1e9)
+        assert op1 == pytest.approx(op2)
+
+    def test_low_intensity_is_transfer_dominated(self, delta):
+        assert overlap_percentage(delta.gpu, gemv_intensity(), 1e6) > 0.95
+
+    def test_high_intensity_is_compute_dominated(self, delta):
+        assert overlap_percentage(delta.gpu, ConstantIntensity(1e5), 1e6) < 0.05
+
+    def test_blas3_overlap_falls_with_block_size(self, delta):
+        """O(N) intensity: bigger blocks => relatively less transfer."""
+        prof = dgemm_intensity()
+        assert (overlap_percentage(delta.gpu, prof, 1e9)
+                < overlap_percentage(delta.gpu, prof, 1e6))
+
+    def test_rejects_cpu(self, delta):
+        with pytest.raises(ValueError):
+            overlap_percentage(delta.cpu, 1.0, 1e6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ai=st.floats(0.01, 1e5), bs=st.floats(1e3, 1e10))
+    def test_in_unit_interval(self, delta, ai, bs):
+        assert 0.0 < overlap_percentage(delta.gpu, ai, bs) < 1.0
+
+
+class TestMinBlockSize:
+    def test_dgemm_minbs_reaches_ridge(self, delta):
+        prof = dgemm_intensity()
+        minbs = min_block_size(delta.gpu, prof)
+        ridge = delta.gpu.ridge_point(staged=True)
+        assert prof.at(minbs) == pytest.approx(ridge, rel=1e-6)
+
+    def test_constant_below_ridge_unsaturable(self, delta):
+        with pytest.raises(ValueError):
+            min_block_size(delta.gpu, gemv_intensity())
+
+    def test_constant_above_ridge_any_size(self, delta):
+        prof = ConstantIntensity(2 * delta.gpu.ridge_point(staged=True))
+        assert min_block_size(delta.gpu, prof) == 1.0
+
+    def test_rejects_cpu(self, delta):
+        with pytest.raises(ValueError):
+            min_block_size(delta.cpu, dgemm_intensity())
+
+
+class TestStreamDecision:
+    def test_gemv_uses_streams_despite_no_saturation(self, delta):
+        """Transfer-dominated and unsaturable: overlap is all you can do."""
+        assert should_use_streams(delta.gpu, gemv_intensity(), 1e8)
+
+    def test_compute_dominated_app_skips_streams(self, delta):
+        """'Otherwise there will not be much overlap to hide the overhead'."""
+        prof = ConstantIntensity(1e5)
+        assert not should_use_streams(delta.gpu, prof, 1e9)
+
+    def test_blas3_below_minbs_skips_streams(self, delta):
+        prof = dgemm_intensity()
+        minbs = min_block_size(delta.gpu, prof)
+        assert not should_use_streams(delta.gpu, prof, minbs * 0.5)
+
+    def test_blas3_above_minbs_with_overlap(self, delta):
+        prof = dgemm_intensity()
+        minbs = min_block_size(delta.gpu, prof)
+        # Just above MinBs the overlap is ~50% (ridge point): streams on.
+        assert should_use_streams(delta.gpu, prof, minbs * 4)
+
+
+class TestCpuBlocks:
+    def test_default_multiplier(self, delta):
+        assert cpu_block_count(delta.cpu.cores) == 48
+
+    def test_custom_multiplier(self):
+        assert cpu_block_count(8, multiplier=3) == 24
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cpu_block_count(0)
+
+
+class TestPlanGranularity:
+    def test_plan_for_cmeans_partition(self, delta):
+        plan = plan_granularity(
+            delta.gpu, delta.cpu.cores, cmeans_intensity(10), 1e8
+        )
+        assert plan.cpu_blocks == 48
+        assert plan.gpu_blocks >= 1
+        assert 0.0 < plan.overlap < 1.0
+
+    def test_fermi_window_limits_streams(self, delta):
+        """C2070: 1 hardware queue -> at most 2 blocks in flight."""
+        plan = plan_granularity(delta.gpu, 12, gemv_intensity(), 1e9)
+        assert plan.use_streams
+        assert plan.gpu_blocks == 2
+
+    def test_kepler_window_wider(self, bigred2):
+        plan = plan_granularity(bigred2.gpu, 32, gemv_intensity(), 1e9)
+        assert plan.gpu_blocks > 2
+
+    def test_no_streams_for_compute_bound(self, delta):
+        plan = plan_granularity(delta.gpu, 12, ConstantIntensity(1e5), 1e9)
+        assert not plan.use_streams
+        assert plan.gpu_blocks == 1
+
+    def test_never_splits_below_minbs(self, delta):
+        prof = dgemm_intensity()
+        minbs = min_block_size(delta.gpu, prof)
+        plan = plan_granularity(delta.gpu, 12, prof, minbs * 1.5)
+        assert plan.gpu_blocks == 1  # splitting would fall below MinBs

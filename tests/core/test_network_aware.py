@@ -1,0 +1,106 @@
+"""Tests for the network-aware analytic extension (paper future work a)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.network_aware import (
+    coprocessing_gain,
+    network_aware_split,
+)
+from repro.core.analytic import workload_split
+from repro.hardware.cluster import NetworkSpec
+
+FAST_NET = NetworkSpec(latency=2e-6, bandwidth=100.0)
+SLOW_NET = NetworkSpec(latency=2e-6, bandwidth=0.05)
+
+
+class TestDegenerateCases:
+    def test_gamma_zero_recovers_equation8(self, delta):
+        plain = workload_split(delta, 50.0, staged=True)
+        ext = network_aware_split(delta, 50.0, gamma=0.0, network=SLOW_NET)
+        assert ext.p == pytest.approx(plain.p, rel=1e-12)
+        assert not ext.cpu_network_bound and not ext.gpu_network_bound
+
+    def test_fast_network_recovers_equation8(self, delta):
+        plain = workload_split(delta, 50.0, staged=True)
+        ext = network_aware_split(delta, 50.0, gamma=0.1, network=FAST_NET)
+        assert ext.p == pytest.approx(plain.p, rel=1e-12)
+
+    def test_plain_p_always_reported(self, delta):
+        ext = network_aware_split(delta, 50.0, gamma=5.0, network=SLOW_NET)
+        plain = workload_split(delta, 50.0, staged=True)
+        assert ext.plain_p == pytest.approx(plain.p, rel=1e-12)
+
+
+class TestNetworkBoundRegime:
+    def test_heavy_shuffle_caps_both_devices(self, delta):
+        ext = network_aware_split(delta, 500.0, gamma=100.0, network=SLOW_NET)
+        assert ext.cpu_network_bound and ext.gpu_network_bound
+
+    def test_fully_capped_split_is_half(self, delta):
+        ext = network_aware_split(delta, 500.0, gamma=100.0, network=SLOW_NET)
+        assert ext.p == pytest.approx(0.5)
+
+    def test_fully_capped_gain_is_one(self, delta):
+        """Co-processing stops paying when the NIC is the bottleneck."""
+        ext = network_aware_split(delta, 500.0, gamma=100.0, network=SLOW_NET)
+        assert coprocessing_gain(ext) == 1.0
+
+    def test_partially_capped_shifts_toward_cpu(self, delta):
+        """High-AI app: GPU is much faster, so the NIC caps the GPU first,
+        pushing relative share back toward the CPU."""
+        plain = workload_split(delta, 1e4, staged=True)
+        # gamma chosen so the GPU (fast) is capped but the CPU is not.
+        ext = network_aware_split(delta, 1e4, gamma=2.0, network=SLOW_NET)
+        assert ext.gpu_network_bound and not ext.cpu_network_bound
+        assert ext.p > plain.p
+
+    def test_gain_reduces_under_network_pressure(self, delta):
+        free = network_aware_split(delta, 2.0, gamma=0.0, network=SLOW_NET)
+        tight = network_aware_split(delta, 2.0, gamma=2.0, network=SLOW_NET)
+        assert coprocessing_gain(tight) <= coprocessing_gain(free) + 1e-12
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ai=st.floats(0.5, 1e4),
+        gamma=st.floats(0.0, 50.0),
+        bandwidth=st.floats(0.01, 50.0),
+    )
+    def test_p_in_unit_interval(self, delta, ai, gamma, bandwidth):
+        net = NetworkSpec(latency=1e-6, bandwidth=bandwidth)
+        ext = network_aware_split(delta, ai, gamma=gamma, network=net)
+        assert 0.0 < ext.p < 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(ai=st.floats(0.5, 1e4), gamma=st.floats(0.0, 50.0))
+    def test_gain_at_least_one(self, delta, ai, gamma):
+        ext = network_aware_split(delta, ai, gamma=gamma, network=SLOW_NET)
+        assert coprocessing_gain(ext) >= 1.0 - 1e-12
+
+    @settings(max_examples=30, deadline=None)
+    @given(ai=st.floats(0.5, 1e4))
+    def test_node_throughput_monotone_in_gamma(self, delta, ai):
+        """Absolute node drain rate never *increases* with shuffle load.
+
+        (The *relative* co-processing gain is not monotone: capping the
+        faster device equalizes the two rates first, raising the relative
+        benefit of the second device before the NIC saturates both.)
+        """
+        rates = [
+            (lambda e: e.cpu_rate_bytes + e.gpu_rate_bytes)(
+                network_aware_split(delta, ai, gamma=g, network=SLOW_NET)
+            )
+            for g in (0.0, 0.5, 2.0, 10.0, 100.0)
+        ]
+        assert all(b <= a + 1e-6 for a, b in zip(rates, rates[1:]))
+
+    def test_saturated_gain_is_exactly_one(self, delta):
+        ext = network_aware_split(delta, 1e3, gamma=50.0, network=SLOW_NET)
+        assert ext.cpu_network_bound and ext.gpu_network_bound
+        assert coprocessing_gain(ext) == 1.0
+
+    def test_rejects_negative_gamma(self, delta):
+        with pytest.raises(ValueError):
+            network_aware_split(delta, 2.0, gamma=-1.0, network=SLOW_NET)

@@ -1,0 +1,125 @@
+"""Tests for synthetic dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.flame import N_CLUSTERS, N_DIMS, N_POINTS, lymphocytes_like
+from repro.data.synth import (
+    gaussian_mixture,
+    random_matrix,
+    random_vector,
+    text_corpus,
+)
+
+
+class TestGaussianMixture:
+    def test_shapes(self):
+        pts, labels, centers = gaussian_mixture(500, 8, 3)
+        assert pts.shape == (500, 8)
+        assert labels.shape == (500,)
+        assert centers.shape == (3, 8)
+
+    def test_labels_in_range(self):
+        _, labels, _ = gaussian_mixture(300, 4, 5)
+        assert labels.min() >= 0 and labels.max() < 5
+
+    def test_seed_reproducibility(self):
+        a = gaussian_mixture(100, 3, 2, seed=9)[0]
+        b = gaussian_mixture(100, 3, 2, seed=9)[0]
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = gaussian_mixture(100, 3, 2, seed=1)[0]
+        b = gaussian_mixture(100, 3, 2, seed=2)[0]
+        assert not np.array_equal(a, b)
+
+    def test_points_near_their_center(self):
+        pts, labels, centers = gaussian_mixture(
+            2000, 4, 3, seed=0, spread=50.0, cluster_std=1.0
+        )
+        for j in range(3):
+            members = pts[labels == j].astype(np.float64)
+            dist = np.linalg.norm(members.mean(axis=0) - centers[j])
+            assert dist < 1.0  # sample mean close to the true center
+
+    def test_weights_respected(self):
+        _, labels, _ = gaussian_mixture(
+            10_000, 2, 2, seed=3, weights=np.array([0.9, 0.1])
+        )
+        frac = np.mean(labels == 0)
+        assert 0.85 < frac < 0.95
+
+    def test_weights_validated(self):
+        with pytest.raises(ValueError):
+            gaussian_mixture(10, 2, 2, weights=np.array([0.5, 0.5, 0.5]))
+        with pytest.raises(ValueError):
+            gaussian_mixture(10, 2, 2, weights=np.array([-1.0, 2.0]))
+
+    def test_dtype(self):
+        pts, _, _ = gaussian_mixture(10, 2, 2)
+        assert pts.dtype == np.float32
+
+
+class TestMatrixVector:
+    def test_matrix_shape_and_range(self):
+        a = random_matrix(10, 20, seed=1)
+        assert a.shape == (10, 20)
+        assert np.all(np.abs(a) <= 1.0)
+
+    def test_vector(self):
+        v = random_vector(64, seed=2)
+        assert v.shape == (64,)
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(random_matrix(5, 5, 3), random_matrix(5, 5, 3))
+
+
+class TestTextCorpus:
+    def test_shape(self):
+        docs = text_corpus(10, words_per_doc=50, seed=0)
+        assert len(docs) == 10
+        assert all(len(d) == 50 for d in docs)
+
+    def test_zipf_skew(self):
+        """Common words must dominate — that's the word-count workload."""
+        docs = text_corpus(50, words_per_doc=200, seed=1)
+        from collections import Counter
+
+        counts = Counter(w for d in docs for w in d)
+        top = counts.most_common(1)[0][1]
+        assert top > sum(counts.values()) / len(counts) * 3
+
+
+class TestLymphocytesLike:
+    def test_paper_shape(self):
+        pts, labels, centers = lymphocytes_like()
+        assert pts.shape == (N_POINTS, N_DIMS) == (20054, 4)
+        assert centers.shape == (N_CLUSTERS, N_DIMS)
+        assert set(np.unique(labels)) == set(range(5))
+
+    def test_fluorescence_range(self):
+        pts, _, _ = lymphocytes_like()
+        assert pts.min() >= 0.0 and pts.max() <= 1023.0
+
+    def test_unequal_populations(self):
+        _, labels, _ = lymphocytes_like()
+        counts = np.bincount(labels)
+        assert counts.max() > 2 * counts.min()
+
+    def test_clusters_overlap_but_are_learnable(self):
+        """The set must be hard (overlapping) yet structured: nearest-true-
+        center classification should sit well between chance and perfect."""
+        pts, labels, centers = lymphocytes_like()
+        d2 = (
+            np.sum(pts.astype(np.float64) ** 2, axis=1)[:, None]
+            - 2.0 * pts.astype(np.float64) @ centers.T.astype(np.float64)
+            + np.sum(centers.astype(np.float64) ** 2, axis=1)[None, :]
+        )
+        acc = np.mean(np.argmin(d2, axis=1) == labels)
+        assert 0.5 < acc < 0.999
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(
+            lymphocytes_like(seed=5)[0], lymphocytes_like(seed=5)[0]
+        )

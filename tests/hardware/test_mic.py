@@ -1,0 +1,68 @@
+"""Tests for the MIC (Xeon Phi) accelerator backend — paper future work b.
+
+The paper's generality claim: the analytic model "can be applied to a wide
+range of SPMD applications and hardware devices" because it only consumes
+roofline parameters.  A Knights Corner card is another PCI-E throughput
+device; everything — Equation (8), the daemons, the full runtime — must
+work on it unmodified.
+"""
+
+import pytest
+
+from repro.core.analytic import workload_split
+from repro.core.intensity import cmeans_intensity, gemv_intensity
+from repro.hardware import Cluster, mic_node, xeon_phi_5110p
+from repro.hardware.cluster import NetworkSpec
+from repro.runtime.job import JobConfig
+from repro.runtime.prs import PRSRuntime
+
+from tests.helpers import ModSumApp
+
+
+@pytest.fixture
+def phi_node():
+    return mic_node()
+
+
+class TestPhiSpec:
+    def test_is_accelerator_kind(self):
+        assert xeon_phi_5110p().is_gpu  # PCI-E attached throughput device
+
+    def test_roofline_parameters(self):
+        phi = xeon_phi_5110p()
+        assert phi.peak_gflops == pytest.approx(2022.0)
+        assert phi.ridge_point(staged=False) == pytest.approx(2022.0 / 320.0)
+
+    def test_node_pairs_phi_with_xeon_host(self, phi_node):
+        assert phi_node.cpu.cores == 12
+        assert phi_node.gpu.name == "Xeon Phi 5110P"
+
+
+class TestAnalyticModelOnPhi:
+    def test_low_intensity_favours_host(self, phi_node):
+        d = workload_split(phi_node, gemv_intensity(), staged=True)
+        assert d.p > 0.9
+
+    def test_high_intensity_favours_phi(self, phi_node):
+        d = workload_split(phi_node, cmeans_intensity(100), staged=False)
+        # p = P_c / (P_phi + P_c) = 130 / 2152
+        assert d.p == pytest.approx(130.0 / (2022.0 + 130.0), abs=1e-3)
+
+    def test_phi_vs_gpu_split_differs(self, phi_node, delta):
+        """Different accelerator, different split — same model."""
+        d_phi = workload_split(phi_node, cmeans_intensity(100), staged=False)
+        d_gpu = workload_split(delta, cmeans_intensity(100), staged=False)
+        assert d_phi.p != pytest.approx(d_gpu.p, abs=1e-3)
+
+
+class TestRuntimeOnPhi:
+    def test_full_job_runs_on_phi_cluster(self, phi_node):
+        cluster = Cluster(
+            name="mic",
+            nodes=(phi_node,),
+            network=NetworkSpec(latency=2e-6, bandwidth=3.2),
+        )
+        app = ModSumApp(n=2000, n_keys=4)
+        result = PRSRuntime(cluster, JobConfig()).run(app)
+        assert result.output == app.expected_output()
+        assert result.device_fraction(".gpu") > 0  # the Phi did real work

@@ -1,0 +1,88 @@
+"""Scale tests: the simulation substrate at cluster sizes beyond the paper.
+
+The paper stops at 8 nodes; these tests push the simulated machine to 32
+nodes and larger event counts to establish that the reproduction's
+conclusions are not artifacts of small configurations — and that the DES
+substrate itself keeps up.
+"""
+
+import pytest
+
+from repro.apps.cmeans import CMeansApp
+from repro.data.synth import gaussian_mixture
+from repro.hardware import delta_cluster
+from repro.runtime.job import JobConfig, Overheads, Scheduling
+from repro.runtime.prs import PRSRuntime
+
+QUIET = Overheads(0.0, 0.0, 0.0, 0.0)
+
+
+class TestLargeCluster:
+    def test_weak_scaling_holds_to_32_nodes(self):
+        per_node = 50_000  # enough per-node work that compute dominates
+        rates = {}
+        for n_nodes in (8, 32):
+            pts, _, _ = gaussian_mixture(per_node * n_nodes, 16, 4, seed=61)
+            app = CMeansApp(pts, 10, seed=62, max_iterations=2, epsilon=1e-12)
+            result = PRSRuntime(
+                delta_cluster(n_nodes=n_nodes), JobConfig(overheads=QUIET)
+            ).run(app)
+            rates[n_nodes] = result.gflops_per_node(n_nodes)
+        # The reduction tree grows log(P): mild droop, no collapse.
+        assert rates[32] > 0.7 * rates[8]
+
+    def test_conservation_at_32_nodes(self):
+        from tests.helpers import ModSumApp
+
+        app = ModSumApp(n=50_000, n_keys=16)
+        result = PRSRuntime(
+            delta_cluster(n_nodes=32), JobConfig()
+        ).run(app)
+        assert result.output == app.expected_output()
+
+    def test_every_node_contributes(self):
+        pts, _, _ = gaussian_mixture(64_000, 8, 4, seed=63)
+        app = CMeansApp(pts, 4, seed=64, max_iterations=2, epsilon=1e-12)
+        result = PRSRuntime(
+            delta_cluster(n_nodes=16), JobConfig(overheads=QUIET)
+        ).run(app)
+        for i in range(16):
+            assert result.trace.total_flops(f"delta{i:02d}.gpu0") > 0, i
+
+    def test_dynamic_scheduling_scales(self):
+        from tests.helpers import ModSumApp
+
+        app = ModSumApp(n=30_000, n_keys=8, intensity=100.0)
+        config = JobConfig(
+            scheduling=Scheduling.DYNAMIC, dynamic_blocks=32,
+        )
+        result = PRSRuntime(delta_cluster(n_nodes=16), config).run(app)
+        assert result.output == app.expected_output()
+
+
+class TestEventVolume:
+    def test_hundred_thousand_events_complete(self):
+        """A dense contention pattern: ~1e5 events through the kernel."""
+        from repro.simulate.engine import Engine
+        from repro.simulate.resources import CorePool
+
+        engine = Engine()
+        pool = CorePool(engine, 16)
+
+        def worker():
+            for _ in range(100):
+                yield from pool.using(0.5)
+
+        procs = [engine.process(worker()) for _ in range(256)]
+        engine.run(engine.all_of(procs))
+        # 256 workers x 100 jobs on 16 cores: exact makespan.
+        assert engine.now == pytest.approx(256 * 100 / 16 * 0.5)
+
+    def test_many_iterations_iterative_job(self):
+        from tests.helpers import CountdownApp
+
+        app = CountdownApp(n=1000, rounds=40)
+        app.max_iterations = 50
+        result = PRSRuntime(delta_cluster(n_nodes=4), JobConfig()).run(app)
+        assert result.iterations == 40
+        assert len(result.iteration_log) == 40

@@ -1,0 +1,60 @@
+"""Tests for the single-GPU-context design (§III.C.3)."""
+
+import pytest
+
+from repro.hardware import delta_cluster
+from repro.runtime.job import JobConfig, Overheads
+from repro.runtime.prs import PRSRuntime
+
+from tests.helpers import CountdownApp, ModSumApp
+
+QUIET = Overheads(0.0, 0.0, 0.0, 0.0, gpu_context_s=2e-2)
+
+
+class TestSingleContext:
+    def test_default_is_funneled(self):
+        assert JobConfig().single_gpu_context
+
+    def test_per_task_contexts_cost_time(self, delta4):
+        """'Such overhead is magnified when a large number of MapReduce
+        tasks create their own GPU context.'"""
+        def run(single):
+            app = ModSumApp(n=20_000, intensity=50.0)
+            config = JobConfig(
+                use_cpu=False, single_gpu_context=single, overheads=QUIET
+            )
+            return PRSRuntime(delta4, config).run(app).makespan
+
+        assert run(False) > run(True) * 2.0
+
+    def test_per_task_contexts_break_caching(self, delta4):
+        """Without the funneled daemon context, loop-invariant data cannot
+        stay resident: every iteration re-stages."""
+        def run(single):
+            app = CountdownApp(n=500_000, rounds=3)
+            config = JobConfig(
+                use_cpu=False, single_gpu_context=single, overheads=QUIET
+            )
+            return PRSRuntime(delta4, config).run(app)
+
+        funneled = run(True)
+        per_task = run(False)
+        assert (
+            per_task.trace.total_bytes(kind="h2d")
+            > 2.5 * funneled.trace.total_bytes(kind="h2d")
+        )
+
+    def test_results_identical_either_way(self, delta4):
+        app1 = ModSumApp(n=1000, n_keys=3)
+        app2 = ModSumApp(n=1000, n_keys=3)
+        r1 = PRSRuntime(
+            delta4, JobConfig(single_gpu_context=True)
+        ).run(app1)
+        r2 = PRSRuntime(
+            delta4, JobConfig(single_gpu_context=False)
+        ).run(app2)
+        assert r1.output == r2.output == app1.expected_output()
+
+    def test_context_overhead_validated(self):
+        with pytest.raises(ValueError):
+            Overheads(gpu_context_s=-1.0)

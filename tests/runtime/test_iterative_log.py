@@ -1,0 +1,70 @@
+"""Tests for iteration bookkeeping and convergence helpers."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.iterative import (
+    IterationLog,
+    IterationStats,
+    max_membership_delta,
+    relative_change,
+)
+
+
+def make_log(durations):
+    log = IterationLog()
+    t = 0.0
+    for i, d in enumerate(durations):
+        log.add(IterationStats(index=i, start=t, end=t + d,
+                               network_bytes=100.0, map_pairs=10))
+        t += d
+    return log
+
+
+class TestIterationStats:
+    def test_duration(self):
+        s = IterationStats(0, 1.0, 3.5, 0.0, 0)
+        assert s.duration == 2.5
+
+
+class TestIterationLog:
+    def test_total_time(self):
+        assert make_log([1.0, 2.0, 3.0]).total_time == pytest.approx(6.0)
+
+    def test_steady_state_excludes_first(self):
+        """The paper's convention: one-off staging excluded."""
+        log = make_log([10.0, 2.0, 2.0, 2.0])
+        assert log.steady_state_time() == pytest.approx(2.0)
+
+    def test_steady_state_single_iteration(self):
+        assert make_log([5.0]).steady_state_time() == pytest.approx(5.0)
+
+    def test_first_iteration_overhead(self):
+        log = make_log([10.0, 2.0, 2.0])
+        assert log.first_iteration_overhead() == pytest.approx(8.0)
+
+    def test_overhead_never_negative(self):
+        log = make_log([1.0, 5.0, 5.0])
+        assert log.first_iteration_overhead() == 0.0
+
+    def test_len(self):
+        assert len(make_log([1.0, 1.0])) == 2
+
+
+class TestConvergenceHelpers:
+    def test_max_membership_delta(self):
+        u1 = np.array([[0.5, 0.5], [1.0, 0.0]])
+        u2 = np.array([[0.6, 0.4], [1.0, 0.0]])
+        assert max_membership_delta(u1, u2) == pytest.approx(0.1)
+
+    def test_membership_shape_check(self):
+        with pytest.raises(ValueError):
+            max_membership_delta(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_relative_change(self):
+        old = np.array([3.0, 4.0])  # norm 5
+        new = np.array([3.0, 4.5])
+        assert relative_change(old, new) == pytest.approx(0.1)
+
+    def test_relative_change_from_zero(self):
+        assert relative_change(np.zeros(2), np.array([1.0, 0.0])) == 1.0

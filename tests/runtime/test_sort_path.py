@@ -1,0 +1,56 @@
+"""Tests for the intermediate-sort path (compare(), §III.A.2)."""
+
+import pytest
+
+from repro.hardware import delta_cluster
+from repro.runtime.api import Block
+from repro.runtime.job import JobConfig
+from repro.runtime.prs import PRSRuntime
+
+from tests.helpers import ModSumApp
+
+
+class DescendingModSum(ModSumApp):
+    """ModSum with a custom descending key order via compare()."""
+
+    name = "modsum-desc"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.reduce_order: list[int] = []
+
+    def compare(self, key1, key2):
+        return key2 - key1  # descending
+
+    def cpu_reduce(self, key, values):
+        self.reduce_order.append(key)
+        return super().cpu_reduce(key, values)
+
+
+class TestSortIntermediate:
+    def test_sorted_run_is_correct(self, delta4):
+        app = ModSumApp(n=500, n_keys=4)
+        result = PRSRuntime(
+            delta4, JobConfig(sort_intermediate=True)
+        ).run(app)
+        assert result.output == app.expected_output()
+
+    def test_custom_compare_orders_reduces(self):
+        """With one node every key reduces locally: the app's compare()
+        must control the reduce order."""
+        app = DescendingModSum(n=400, n_keys=5)
+        cluster = delta_cluster(n_nodes=1)
+        PRSRuntime(cluster, JobConfig(sort_intermediate=True)).run(app)
+        assert app.reduce_order == sorted(app.reduce_order, reverse=True)
+
+    def test_sorting_charges_time(self, delta4):
+        app1 = ModSumApp(n=500, n_keys=4)
+        app2 = ModSumApp(n=500, n_keys=4)
+        t_plain = PRSRuntime(delta4, JobConfig()).run(app1).makespan
+        t_sorted = PRSRuntime(
+            delta4, JobConfig(sort_intermediate=True)
+        ).run(app2).makespan
+        assert t_sorted >= t_plain
+
+    def test_default_is_off(self):
+        assert not JobConfig().sort_intermediate

@@ -1,0 +1,134 @@
+"""Tests for execution-trace aggregation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulate.trace import TaskRecord, Trace
+
+
+def make_trace(entries):
+    trace = Trace()
+    for label, device, kind, start, end in entries:
+        trace.record(label, device, kind, start, end)
+    return trace
+
+
+class TestTaskRecord:
+    def test_duration(self):
+        assert TaskRecord("t", "d", "compute", 1.0, 3.5).duration == 2.5
+
+    def test_rejects_reversed_interval(self):
+        with pytest.raises(ValueError):
+            TaskRecord("t", "d", "compute", 3.0, 1.0)
+
+
+class TestBusyTime:
+    def test_disjoint_intervals_sum(self):
+        t = make_trace([("a", "gpu", "compute", 0, 1), ("b", "gpu", "compute", 2, 3)])
+        assert t.busy_time("gpu") == pytest.approx(2.0)
+
+    def test_overlapping_intervals_merge(self):
+        t = make_trace([("a", "gpu", "compute", 0, 2), ("b", "gpu", "h2d", 1, 3)])
+        assert t.busy_time("gpu") == pytest.approx(3.0)
+
+    def test_nested_intervals_merge(self):
+        t = make_trace([("a", "gpu", "compute", 0, 10), ("b", "gpu", "h2d", 2, 3)])
+        assert t.busy_time("gpu") == pytest.approx(10.0)
+
+    def test_utilization_bounded(self):
+        t = make_trace([
+            ("a", "gpu", "compute", 0, 5),
+            ("b", "gpu", "h2d", 0, 5),
+            ("c", "cpu", "compute", 0, 1),
+        ])
+        assert t.utilization("gpu") == pytest.approx(1.0)
+        assert t.utilization("cpu") == pytest.approx(0.2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0.01, 10)), min_size=1, max_size=20,
+    ))
+    def test_union_never_exceeds_sum_or_span(self, raw):
+        trace = Trace()
+        for i, (start, dur) in enumerate(raw):
+            trace.record(f"t{i}", "dev", "compute", start, start + dur)
+        busy = trace.busy_time("dev")
+        assert busy <= sum(d for _, d in raw) + 1e-9
+        assert busy <= trace.makespan + 1e-9
+        assert trace.utilization("dev") <= 1.0 + 1e-12
+
+
+class TestQueries:
+    def test_makespan_empty(self):
+        assert Trace().makespan == 0.0
+
+    def test_filter_by_device_and_kind(self):
+        t = make_trace([
+            ("a", "gpu", "compute", 0, 1),
+            ("b", "gpu", "h2d", 1, 2),
+            ("c", "cpu", "compute", 0, 2),
+        ])
+        assert len(t.filter(device="gpu")) == 2
+        assert len(t.filter(device="gpu", kind="compute")) == 1
+        assert len(t.filter(kind="compute")) == 2
+
+    def test_totals(self):
+        t = Trace()
+        t.record("a", "gpu", "compute", 0, 1, nbytes=10, flops=100)
+        t.record("b", "cpu", "compute", 0, 1, nbytes=20, flops=50)
+        assert t.total_flops() == 150
+        assert t.total_flops("gpu") == 100
+        assert t.total_bytes("cpu") == 20
+
+    def test_devices_in_first_seen_order(self):
+        t = make_trace([
+            ("a", "gpu0", "compute", 0, 1),
+            ("b", "cpu", "compute", 0, 1),
+            ("c", "gpu0", "compute", 1, 2),
+        ])
+        assert t.devices() == ["gpu0", "cpu"]
+
+    def test_summary_keys(self):
+        t = make_trace([("a", "gpu", "compute", 0, 1)])
+        summary = t.summary()
+        assert set(summary["gpu"]) == {"busy", "flops", "bytes", "utilization"}
+
+    def test_gantt_renders(self):
+        t = make_trace([("a", "gpu", "compute", 0, 1), ("b", "cpu", "h2d", 0, 0.5)])
+        art = t.gantt(width=40)
+        assert "gpu" in art and "cpu" in art
+
+    def test_gantt_empty(self):
+        assert "empty" in Trace().gantt()
+
+
+class TestExport:
+    def test_csv_roundtrip_structure(self):
+        t = Trace()
+        t.record("a,b", "gpu", "compute", 0.0, 1.5, nbytes=10, flops=20)
+        csv = t.to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "label,device,kind,start,end,nbytes,flops"
+        assert lines[1].startswith('"a,b",gpu,compute,')
+
+    def test_csv_quotes_embedded_quotes(self):
+        t = Trace()
+        t.record('say "hi"', "d", "net", 0, 1)
+        assert '"say ""hi"""' in t.to_csv()
+
+    def test_records_json_roundtrip(self):
+        import json
+
+        t = Trace()
+        t.record("x", "cpu", "compute", 0.0, 2.0, nbytes=5, flops=7)
+        t.record("y", "gpu", "h2d", 1.0, 3.0, nbytes=9)
+        payload = json.dumps(t.to_records())
+        rebuilt = Trace.from_records(json.loads(payload))
+        assert rebuilt.records == t.records
+
+    def test_roundtrip_preserves_summary(self):
+        t = Trace()
+        t.record("a", "gpu", "compute", 0, 4, flops=100)
+        t.record("b", "gpu", "h2d", 2, 6, nbytes=50)
+        rebuilt = Trace.from_records(t.to_records())
+        assert rebuilt.summary() == t.summary()

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAdvise:
+    def test_cmeans_on_delta(self, capsys):
+        assert main(["advise", "--node", "delta", "--app", "cmeans"]) == 0
+        out = capsys.readouterr().out
+        assert "CPU share p" in out
+        assert "11.2%" in out  # Table 5 value
+
+    def test_gemv_staged(self, capsys):
+        main(["advise", "--node", "delta", "--app", "gemv"])
+        out = capsys.readouterr().out
+        assert "97.2%" in out
+        assert "staged via PCI-E" in out
+
+    def test_resident_flag(self, capsys):
+        main(["advise", "--app", "gemv", "--resident"])
+        out = capsys.readouterr().out
+        assert "resident in GPU memory" in out
+
+    def test_custom_intensity(self, capsys):
+        main(["advise", "--intensity", "7.5"])
+        out = capsys.readouterr().out
+        assert "custom(A=7.5)" in out
+
+    def test_unknown_app_exits(self):
+        with pytest.raises(SystemExit):
+            main(["advise", "--app", "nonsense"])
+
+    def test_mic_preset(self, capsys):
+        assert main(["advise", "--node", "mic", "--app", "gmm"]) == 0
+        assert "mic" in capsys.readouterr().out
+
+
+class TestRoofline:
+    @pytest.mark.parametrize("node", ["delta", "bigred2", "mic"])
+    def test_prints_ridges(self, capsys, node):
+        assert main(["roofline", "--node", node]) == 0
+        out = capsys.readouterr().out
+        assert "ridge A" in out
+        assert "GPU staged" in out
+
+
+class TestRun:
+    def test_cmeans_run(self, capsys):
+        code = main([
+            "run", "--app", "cmeans", "--size", "2000", "--nodes", "2",
+            "--iterations", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "split (eq 8)" in out
+
+    def test_gemv_gpu_only(self, capsys):
+        code = main([
+            "run", "--app", "gemv", "--size", "1000", "--dims", "32",
+            "--gpu-only",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GPU" in out
+        assert "split (eq 8)" not in out  # single device class: no split
+
+    def test_wordcount_dynamic(self, capsys):
+        code = main([
+            "run", "--app", "wordcount", "--size", "50",
+            "--scheduling", "dynamic",
+        ])
+        assert code == 0
+
+    def test_conflicting_device_flags_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--gpu-only", "--cpu-only"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
