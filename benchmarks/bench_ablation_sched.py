@@ -19,14 +19,17 @@ differs):
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from _harness import once, save_table
+from _harness import RESULTS_DIR, once, save_table
 from repro.analysis.tables import format_table
 from repro.apps.cmeans import CMeansApp
 from repro.data.synth import gaussian_mixture
 from repro.hardware import delta_cluster
 from repro.runtime.job import JobConfig, Overheads, Scheduling
+from repro.runtime.policies import available_policies
 from repro.runtime.prs import PRSRuntime
 
 POINTS, DIMS, M = 200_000, 32, 100
@@ -40,7 +43,7 @@ LEAN = Overheads(
 )
 
 
-def run(scheduling, force_p=None, dynamic_blocks=64):
+def run_job(scheduling, force_p=None, dynamic_blocks=64):
     pts, _, _ = gaussian_mixture(POINTS, DIMS, M, seed=7)
     app = CMeansApp(pts, M, seed=8, max_iterations=ITERS, epsilon=1e-12)
     config = JobConfig(
@@ -49,7 +52,11 @@ def run(scheduling, force_p=None, dynamic_blocks=64):
         dynamic_blocks=dynamic_blocks,
         overheads=LEAN,
     )
-    return PRSRuntime(delta_cluster(4), config).run(app).makespan
+    return PRSRuntime(delta_cluster(4), config).run(app)
+
+
+def run(scheduling, force_p=None, dynamic_blocks=64):
+    return run_job(scheduling, force_p, dynamic_blocks).makespan
 
 
 def build_table():
@@ -93,3 +100,83 @@ def test_ablation_scheduling(benchmark):
     # dynamic absorbs model error.
     assert static_bad > static_good * 2.0
     assert best_dynamic < static_bad
+
+
+# ---------------------------------------------------------------------------
+# Policy sweep: every registered scheduling policy on the same workload
+# ---------------------------------------------------------------------------
+
+
+def build_policy_sweep():
+    results = {}
+    for name in available_policies():
+        job = run_job(name, dynamic_blocks=None)  # None: MinBs-derived count
+        results[name] = {
+            "makespan_s": job.makespan,
+            "gflops": job.gflops,
+            "iterations": job.iterations,
+            "final_cpu_fractions": job.final_cpu_fractions,
+            "phase_totals_s": job.phase_totals(),
+        }
+
+    rows = [
+        [
+            name,
+            f"{stats['makespan_s'] * 1e3:.2f} ms",
+            f"{stats['gflops']:.1f}",
+            f"{stats['phase_totals_s'].get('map', 0.0) * 1e3:.2f} ms",
+        ]
+        for name, stats in sorted(results.items())
+    ]
+    table = format_table(
+        ["policy", "makespan", "GFLOP/s", "map time"],
+        rows,
+        title=(
+            "Ablation S1b: registered scheduling policies "
+            f"(C-means, {POINTS} pts, M={M}, 4 Delta nodes, lean overheads)"
+        ),
+    )
+    return table, results
+
+
+@pytest.mark.benchmark(group="ablation-sched")
+def test_policy_sweep(benchmark):
+    table, results = once(benchmark, build_policy_sweep)
+    save_table("ablation_sched_policies", table)
+
+    payload = {
+        "workload": {
+            "app": "cmeans",
+            "points": POINTS,
+            "dims": DIMS,
+            "clusters": M,
+            "iterations": ITERS,
+            "cluster": "delta x4",
+        },
+        "policies": results,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_sched_policies.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+    # Every registered policy must complete the job.
+    assert set(results) >= {
+        "static",
+        "dynamic",
+        "adaptive-feedback",
+        "locality-dynamic",
+    }
+    for stats in results.values():
+        assert stats["makespan_s"] > 0.0
+        assert stats["iterations"] == ITERS
+    # Phase sums reproduce each policy's makespan (the pipeline's
+    # bookkeeping invariant) within 1%.
+    for stats in results.values():
+        total = sum(stats["phase_totals_s"].values())
+        assert abs(total - stats["makespan_s"]) <= 0.01 * stats["makespan_s"]
+    # No policy should be catastrophically worse than the analytic split
+    # on well-modelled hardware.
+    static_t = results["static"]["makespan_s"]
+    for name, stats in results.items():
+        assert stats["makespan_s"] < 3.0 * static_t, name

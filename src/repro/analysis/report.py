@@ -28,6 +28,7 @@ def render_report(
     # ---- headline ------------------------------------------------------
     lines = [
         f"makespan          : {result.makespan * 1e3:.3f} ms (simulated)",
+        f"policy            : {result.policy}",
         f"iterations        : {result.iterations}",
         f"total flops       : {result.total_flops / 1e9:.3f} GFLOP",
         f"throughput        : {result.gflops:.2f} GFLOP/s",
@@ -77,6 +78,26 @@ def render_report(
                 ["device", "busy", "GFLOP", "moved", "util"],
                 rows,
                 title="per-device activity:",
+            )
+        )
+
+    # ---- phases ----------------------------------------------------------
+    totals = result.phase_totals()
+    if totals:
+        makespan = result.makespan
+        phase_rows = [
+            [
+                phase,
+                f"{seconds * 1e3:.3f} ms",
+                f"{seconds / makespan:.0%}" if makespan > 0 else "-",
+            ]
+            for phase, seconds in totals.items()
+        ]
+        sections.append(
+            format_table(
+                ["phase", "time", "share"],
+                phase_rows,
+                title="phase breakdown (rank 0, summed over iterations):",
             )
         )
 

@@ -13,7 +13,11 @@ Three subcommands expose the library without writing code:
 ``run``
     Run one of the built-in applications on a simulated preset cluster and
     print the job summary (split, makespan, throughput, per-device
-    utilization).
+    utilization, per-phase time breakdown).
+
+``policies``
+    List the registered sub-task scheduling policies (selectable with
+    ``run --policy``).
 """
 
 from __future__ import annotations
@@ -164,14 +168,27 @@ def cmd_claims(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_policies(args: argparse.Namespace) -> int:
+    from repro.runtime.policies import available_policies, get_policy
+
+    print("registered scheduling policies:")
+    for name in available_policies():
+        cls = get_policy(name)
+        doc = (cls.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"  {name:<18s} {summary}")
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    from repro.runtime.job import JobConfig, Scheduling
+    from repro.runtime.job import JobConfig
     from repro.runtime.prs import PRSRuntime
 
     cluster = _cluster_for(args.node, args.nodes)
     app = _build_app(args)
+    policy = args.policy if args.policy is not None else args.scheduling
     config = JobConfig(
-        scheduling=Scheduling(args.scheduling),
+        scheduling=policy,
         use_cpu=not args.gpu_only,
         use_gpu=not args.cpu_only,
     )
@@ -185,8 +202,14 @@ def cmd_run(args: argparse.Namespace) -> int:
             "n_items": app.n_items(),
             "cluster": {"preset": args.node, "nodes": cluster.n_nodes},
             "devices": config.devices_label(),
+            "policy": result.policy,
             "iterations": result.iterations,
             "makespan_s": result.makespan,
+            "phase_breakdown": {
+                str(it): phases
+                for it, phases in result.phase_breakdown().items()
+            },
+            "final_cpu_fractions": result.final_cpu_fractions,
             "gflops": result.gflops,
             "gflops_per_node": result.gflops_per_node(cluster.n_nodes),
             "network_bytes": result.network_bytes,
@@ -207,14 +230,24 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"app            : {app.name} ({app.n_items()} items)")
     print(f"cluster        : {cluster.n_nodes}x {args.node}")
     print(f"devices        : {config.devices_label()}")
+    print(f"policy         : {result.policy}")
     if result.splits:
         split = result.splits[0]
         print(f"split (eq 8)   : CPU {split.p:.1%} [{split.regime.value}]")
+    final_ps = [p for p in result.final_cpu_fractions if p is not None]
+    if final_ps:
+        print(f"final CPU p    : {final_ps[0]:.1%} (policy-effective)")
     print(f"iterations     : {result.iterations}")
     print(f"makespan       : {result.makespan * 1e3:.3f} ms (simulated)")
     print(f"throughput     : {result.gflops:.2f} GFLOP/s "
           f"({result.gflops_per_node(cluster.n_nodes):.2f}/node)")
     print(f"network        : {result.network_bytes / 1e6:.3f} MB shuffled")
+    totals = result.phase_totals()
+    if totals:
+        print("phase breakdown (rank 0, summed over iterations):")
+        for phase, seconds in totals.items():
+            share = seconds / result.makespan if result.makespan > 0 else 0.0
+            print(f"  {phase:<12s} : {seconds * 1e3:9.3f} ms  ({share:.0%})")
     return 0
 
 
@@ -282,6 +315,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     claims.set_defaults(func=cmd_claims)
 
+    policies = sub.add_parser(
+        "policies", help="list the registered scheduling policies"
+    )
+    policies.set_defaults(func=cmd_policies)
+
     run = sub.add_parser("run", help="run a built-in app on a simulated cluster")
     run.add_argument("--app", default="cmeans",
                      choices=["cmeans", "kmeans", "gmm", "gemv", "wordcount"])
@@ -295,6 +333,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=1)
     run.add_argument("--scheduling", choices=["static", "dynamic"],
                      default="static")
+    run.add_argument("--policy", default=None,
+                     help="scheduling policy from the registry (overrides "
+                          "--scheduling); see `repro policies`")
     group = run.add_mutually_exclusive_group()
     group.add_argument("--gpu-only", action="store_true")
     group.add_argument("--cpu-only", action="store_true")

@@ -28,9 +28,12 @@ from repro.core.intensity import (
 from repro.core.roofline import RooflineModel, roofline_curve
 from repro.core.analytic import (
     AnalyticModel,
+    RateObservation,
     Regime,
     SplitDecision,
+    feedback_split,
     multi_device_split,
+    observe_device_rate,
     predicted_runtime,
     workload_split,
 )
@@ -70,6 +73,9 @@ __all__ = [
     "SplitDecision",
     "workload_split",
     "multi_device_split",
+    "RateObservation",
+    "observe_device_rate",
+    "feedback_split",
     "predicted_runtime",
     "NetworkAwareSplit",
     "network_aware_split",

@@ -9,8 +9,14 @@ The pieces map one-to-one onto Figure 2 of the paper:
 * :mod:`repro.runtime.partition` — the master task scheduler's input
   partitioning (default: two partitions per fat node).
 * :mod:`repro.runtime.scheduler` — the two-level scheduler: master task
-  scheduler + per-worker sub-task scheduler, with the static (analytic)
-  and dynamic (block-polling) strategies of §III.B.2.
+  scheduler + per-worker sub-task scheduler, which delegates the
+  §III.B.2 strategy choice to a pluggable policy.
+* :mod:`repro.runtime.policies` — the scheduling-policy registry: the
+  paper's ``static`` and ``dynamic`` strategies plus the
+  ``adaptive-feedback`` and ``locality-dynamic`` extensions.
+* :mod:`repro.runtime.phases` — the job lifecycle as named phases
+  (broadcast → map → combine → shuffle → reduce → gather → converge),
+  each bracketed by a trace span for per-phase time breakdowns.
 * :mod:`repro.runtime.daemons` — GPU and CPU device daemons (§III.C.1).
 * :mod:`repro.runtime.shuffle` — intermediate key grouping and bucket
   exchange between map and reduce.
@@ -25,6 +31,12 @@ from repro.runtime.api import Block, MapReduceApp, IterativeMapReduceApp
 from repro.runtime.job import JobConfig, JobResult, Scheduling
 from repro.runtime.memory import Region, RegionAllocator
 from repro.runtime.partition import partition_range, weighted_partition
+from repro.runtime.policies import (
+    SchedulingPolicy,
+    available_policies,
+    get_policy,
+    register_policy,
+)
 from repro.runtime.prs import PRSRuntime
 
 __all__ = [
@@ -34,9 +46,13 @@ __all__ = [
     "JobConfig",
     "JobResult",
     "Scheduling",
+    "SchedulingPolicy",
     "Region",
     "RegionAllocator",
+    "available_policies",
+    "get_policy",
     "partition_range",
+    "register_policy",
     "weighted_partition",
     "PRSRuntime",
 ]

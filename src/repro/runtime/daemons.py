@@ -242,7 +242,8 @@ class GpuDaemon:
         having every MapReduce tasks creating its own GPU context, we make
         GPU device daemon to be the only thread that communicate to GPU
         device" (§III.C.3) — per-task contexts cannot keep data resident
-        across tasks.
+        across tasks.  The ``locality-dynamic`` scheduling policy polls
+        this to steer cached blocks back to their daemon.
         """
         return (
             self.config.single_gpu_context

@@ -3,9 +3,12 @@
 The structural support — a single GPU-context-owning daemon per card and
 loop-invariant input caching — lives in
 :class:`~repro.runtime.daemons.GpuDaemon` (``input_cached``).  This module
-provides the per-iteration bookkeeping the driver in
-:mod:`repro.runtime.prs` records, and convergence helpers shared by the
-iterative applications.
+provides the per-iteration bookkeeping the :class:`ConvergencePhase` of
+:mod:`repro.runtime.phases` records on the master, and convergence
+helpers shared by the iterative applications.  For the *intra*-iteration
+time breakdown (map vs shuffle vs reduce ...) see the phase spans on
+:class:`~repro.simulate.trace.Trace` — an :class:`IterationStats` covers
+one whole driver iteration, a phase span one step of it.
 """
 
 from __future__ import annotations

@@ -29,12 +29,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class Scheduling(enum.Enum):
-    """§III.B.2: the two sub-task scheduling strategies PRS provides."""
+    """§III.B.2's strategies, now aliases into the policy registry.
+
+    Every member's value is a policy name registered in
+    :mod:`repro.runtime.policies`; plain strings (including names of
+    externally registered policies) are accepted anywhere a ``Scheduling``
+    is, so the enum exists for backwards compatibility and discoverability.
+    """
 
     #: analytic split via Equation (8), then per-device granularities
     STATIC = "static"
     #: fixed-size blocks polled by idle device daemons
     DYNAMIC = "dynamic"
+    #: static split whose ``p`` is re-derived between iterations from the
+    #: observed per-device rates in the trace (Qilin's §II.B idea, online)
+    ADAPTIVE_FEEDBACK = "adaptive-feedback"
+    #: block polling that steers GPU-cached blocks back to their daemon
+    LOCALITY_DYNAMIC = "locality-dynamic"
 
 
 @dataclass(frozen=True)
@@ -74,8 +85,9 @@ class Overheads:
 class JobConfig:
     """Scheduling knobs for one PRS job."""
 
-    #: sub-task scheduling strategy (§III.B.2)
-    scheduling: Scheduling = Scheduling.STATIC
+    #: sub-task scheduling policy: a :class:`Scheduling` member or any
+    #: policy name registered in :mod:`repro.runtime.policies`
+    scheduling: Scheduling | str = Scheduling.STATIC
     #: engage the CPU daemon
     use_cpu: bool = True
     #: engage the GPU daemon(s)
@@ -86,8 +98,12 @@ class JobConfig:
     partitions_per_node: int = 2
     #: CPU blocks per partition = multiplier x cores (§III.B.3b)
     cpu_block_multiplier: int = 4
-    #: total dynamic blocks per partition (dynamic scheduling only)
-    dynamic_blocks: int = 64
+    #: total dynamic blocks per partition (polling policies only).
+    #: ``None`` derives the count from ``MinBs`` of Equation (11): enough
+    #: blocks for load balance, but never so many that a GPU block drops
+    #: below the saturation size — the "non-trivial" tuning the paper
+    #: warns about, answered by its own granularity model.
+    dynamic_blocks: int | None = None
     #: Equation (9) overlap threshold for launching streams
     overlap_threshold: float = 0.25
     #: override the analytic CPU fraction (None = use Equation (8))
@@ -117,12 +133,25 @@ class JobConfig:
         require_positive_int("gpus_per_node", self.gpus_per_node)
         require_positive_int("partitions_per_node", self.partitions_per_node)
         require_positive_int("cpu_block_multiplier", self.cpu_block_multiplier)
-        require_positive_int("dynamic_blocks", self.dynamic_blocks)
+        if self.dynamic_blocks is not None:
+            require_positive_int("dynamic_blocks", self.dynamic_blocks)
         require_fraction("overlap_threshold", self.overlap_threshold)
         if self.force_cpu_fraction is not None:
             require_fraction("force_cpu_fraction", self.force_cpu_fraction)
         if not (self.use_cpu or self.use_gpu):
             raise ValueError("at least one of use_cpu/use_gpu must be set")
+        # Validate the policy name against the registry (import deferred:
+        # the policies package imports runtime modules that import us).
+        from repro.runtime.policies import get_policy
+
+        get_policy(self.policy_name)
+
+    @property
+    def policy_name(self) -> str:
+        """Canonical registry name of the configured scheduling policy."""
+        if isinstance(self.scheduling, Scheduling):
+            return self.scheduling.value
+        return str(self.scheduling)
 
     def devices_label(self) -> str:
         if self.use_cpu and self.use_gpu:
@@ -151,6 +180,27 @@ class JobResult:
     #: per-iteration timing log (populated for every job; one entry per
     #: driver iteration)
     iteration_log: "IterationLog | None" = None
+    #: registry name of the scheduling policy that ran the job
+    policy: str = "static"
+    #: per co-processing node: the CPU fraction the policy ended on (the
+    #: analytic ``p`` for static, the last feedback-derived ``p`` for
+    #: adaptive-feedback; ``None`` for pure polling policies)
+    final_cpu_fractions: list = field(default_factory=list)
+
+    def phase_breakdown(self, rank: int = 0) -> dict[int, dict[str, float]]:
+        """Per-iteration ``{phase: seconds}`` on *rank* (see
+        :meth:`repro.simulate.trace.Trace.phase_breakdown`); iteration
+        ``-1`` is the one-off setup.  Summing every value reproduces the
+        makespan to within the final broadcast latency."""
+        return self.trace.phase_breakdown(rank=rank)
+
+    def phase_totals(self, rank: int = 0) -> dict[str, float]:
+        """Total seconds per phase across iterations, in execution order."""
+        totals: dict[str, float] = {}
+        for per_iter in self.phase_breakdown(rank=rank).values():
+            for phase, seconds in per_iter.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        return totals
 
     @property
     def gflops(self) -> float:

@@ -1,0 +1,279 @@
+"""The job lifecycle as named phases (the §III.A.2 driver, decomposed).
+
+``PRSRuntime.run`` used to inline the whole per-rank lifecycle —
+broadcast → map → combine → shuffle → reduce → gather → converge — in
+one worker generator.  Each step is now a :class:`Phase` object that
+brackets its execution with a span in the shared trace
+(:meth:`repro.simulate.trace.Trace.record_phase`), giving every job a
+per-iteration, per-phase time breakdown (``JobResult.phase_breakdown``)
+for free, without adding any simulated events: phases are pure code
+motion around the same yields, so schedules are bit-identical to the
+monolithic worker.
+
+Phases run back-to-back on each rank (each span starts where the
+previous one ended), so a rank's span sum equals its finish time; rank
+0's sum matches the job makespan up to the final convergence-broadcast
+latency on the other ranks.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from math import log2
+from typing import TYPE_CHECKING, Any, ClassVar, Generator
+
+from repro.comm.mpi import RankComm, World
+from repro.runtime.api import Block, MapReduceApp
+from repro.runtime.iterative import IterationLog, IterationStats
+from repro.runtime.job import JobConfig
+from repro.runtime.shuffle import (
+    apply_combiner,
+    group_by_key,
+    hash_partition,
+    sort_pairs,
+)
+from repro.simulate.engine import Engine, Event
+from repro.simulate.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.daemons import NodeResources
+    from repro.runtime.scheduler import SubTaskScheduler
+
+
+@dataclass
+class PhaseContext:
+    """Everything one rank's phases share during a job.
+
+    The first block of fields is fixed at worker start; the second is
+    the mutable per-iteration dataflow the phases hand to one another.
+    """
+
+    engine: Engine
+    world: World
+    comm: RankComm
+    sched: "SubTaskScheduler"
+    resources: "NodeResources"
+    app: MapReduceApp
+    config: JobConfig
+    trace: Trace
+    iterative: bool
+    max_iterations: int
+    node_partitions: list[list[Block]]
+    final_output: dict[Any, Any]
+    iteration_log: IterationLog
+    iterations_done: list[int]
+
+    # -- per-iteration dataflow ----------------------------------------
+    my_parts: list[Block] = field(default_factory=list)
+    iteration: int = 0
+    iter_start: float = 0.0
+    net_before: float = 0.0
+    pairs: list[tuple[Any, Any]] = field(default_factory=list)
+    mine: list[tuple[Any, Any]] = field(default_factory=list)
+    local_out: dict[Any, Any] = field(default_factory=dict)
+    gathered: list[dict[Any, Any]] | None = None
+    stop: bool = True
+
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+
+class Phase(abc.ABC):
+    """One named step of the per-rank job lifecycle.
+
+    :meth:`run` brackets :meth:`body` with a :class:`PhaseSpan` in the
+    trace.  ``body`` may be a process fragment (a generator yielding
+    simulation events) or a plain method returning ``None`` for purely
+    functional steps — either way the span covers exactly the simulated
+    time the step consumed.
+    """
+
+    #: span label; also the key in ``JobResult.phase_breakdown``
+    name: ClassVar[str] = "?"
+
+    def run(self, ctx: PhaseContext) -> Generator[Event, Any, None]:
+        start = ctx.engine.now
+        gen = self.body(ctx)
+        if gen is not None:
+            yield from gen
+        ctx.trace.record_phase(
+            self.name, ctx.rank, self.iteration_index(ctx), start, ctx.engine.now
+        )
+
+    @abc.abstractmethod
+    def body(self, ctx: PhaseContext) -> Generator[Event, Any, None] | None:
+        """The phase's work; see :meth:`run` for the generator contract."""
+
+    def iteration_index(self, ctx: PhaseContext) -> int:
+        return ctx.iteration
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SetupPhase(Phase):
+    """One-off job setup: daemon spawn plus the partition-descriptor
+    scatter from the master (recorded as iteration ``-1``)."""
+
+    name = "setup"
+
+    def iteration_index(self, ctx: PhaseContext) -> int:
+        return -1
+
+    def body(self, ctx: PhaseContext) -> Generator[Event, Any, None]:
+        yield ctx.engine.timeout(ctx.config.overheads.job_setup_s)
+        # Master ships partition descriptors (index ranges — tiny).
+        descriptors = (
+            [
+                [(p.start, p.stop) for p in parts]
+                for parts in ctx.node_partitions
+            ]
+            if ctx.rank == 0
+            else None
+        )
+        my_descr = yield from ctx.comm.scatter(descriptors, root=0)
+        ctx.my_parts = [Block(lo, hi) for lo, hi in my_descr]
+
+
+class BroadcastState(Phase):
+    """Broadcast the loop state (centers etc.) for iterative apps.  State
+    lives in shared memory functionally; the broadcast charges its wire
+    cost.  Zero-span for single-pass apps."""
+
+    name = "broadcast"
+
+    def body(self, ctx: PhaseContext) -> Generator[Event, Any, None] | None:
+        if not ctx.iterative:
+            return None
+        return self._bcast(ctx)
+
+    def _bcast(self, ctx: PhaseContext) -> Generator[Event, Any, None]:
+        state = ctx.app.iteration_state() if ctx.rank == 0 else None
+        yield from ctx.comm.bcast(state, root=0, tag=1000 + ctx.iteration)
+        yield ctx.engine.timeout(ctx.config.overheads.iteration_s)
+
+
+class MapPhase(Phase):
+    """Map every local partition through the sub-task scheduler's policy."""
+
+    name = "map"
+
+    def body(self, ctx: PhaseContext) -> Generator[Event, Any, None]:
+        ctx.pairs = []
+        for part in ctx.my_parts:
+            yield from ctx.sched.run_map_partition(part, ctx.pairs)
+
+
+class CombinePhase(Phase):
+    """Apply the app's combiner to the local pairs (functional: the
+    combiner cost is charged inside the map kernels)."""
+
+    name = "combine"
+
+    def body(self, ctx: PhaseContext) -> None:
+        if ctx.app.has_combiner():
+            ctx.pairs = apply_combiner(ctx.pairs, ctx.app.combiner)
+
+
+class ShufflePhase(Phase):
+    """Personalized all-to-all of the per-node key buckets, so "pairs
+    with the same key are stored consecutively in a bucket on the same
+    node" (§III.A.2)."""
+
+    name = "shuffle"
+
+    def body(self, ctx: PhaseContext) -> Generator[Event, Any, None]:
+        buckets = hash_partition(ctx.pairs, ctx.comm.size)
+        incoming = yield from ctx.comm.alltoall(
+            buckets, tag=100_000 + ctx.iteration * 256
+        )
+        ctx.mine = [kv for bucket in incoming for kv in bucket]
+
+
+class ReducePhase(Phase):
+    """Optional keyed sort, then grouped reduction on this node."""
+
+    name = "reduce"
+
+    def body(self, ctx: PhaseContext) -> Generator[Event, Any, None]:
+        mine = ctx.mine
+        if ctx.config.sort_intermediate and mine:
+            # Sort cost: n log2 n comparisons at ~20ns each on the
+            # node CPU — the "sorted in CPU memory" step.
+            n_pairs = len(mine)
+            sort_cost = 2e-8 * n_pairs * max(log2(n_pairs), 1.0)
+            yield ctx.engine.timeout(sort_cost)
+            mine = sort_pairs(mine, compare=ctx.app.compare)
+        groups = group_by_key(mine)
+        ctx.local_out = {}
+        yield from ctx.sched.run_reduce(groups, ctx.local_out)
+
+
+class GatherPhase(Phase):
+    """Gather the reduce outputs at the master, then bulk-free every
+    daemon region (§III.C.2 — "the collection of allocated objects in the
+    region can be deallocated all at once")."""
+
+    name = "gather"
+
+    def body(self, ctx: PhaseContext) -> Generator[Event, Any, None]:
+        ctx.gathered = yield from ctx.comm.gather(
+            ctx.local_out, root=0, tag=3000 + ctx.iteration
+        )
+        ctx.resources.allocator.reset_all()
+
+
+class ConvergencePhase(Phase):
+    """Master-side merge/update/stats, the policy feedback hook, and —
+    for iterative apps — the stop broadcast."""
+
+    name = "convergence"
+
+    def body(self, ctx: PhaseContext) -> Generator[Event, Any, None]:
+        ctx.stop = True
+        if ctx.rank == 0:
+            merged: dict[Any, Any] = {}
+            assert ctx.gathered is not None
+            for part_out in ctx.gathered:
+                merged.update(part_out)
+            ctx.final_output.clear()
+            ctx.final_output.update(merged)
+            if ctx.iterative:
+                ctx.app.update(merged)
+                ctx.stop = (
+                    ctx.app.converged
+                    or (ctx.iteration + 1) >= ctx.max_iterations
+                )
+            ctx.iteration_log.add(
+                IterationStats(
+                    index=ctx.iteration,
+                    start=ctx.iter_start,
+                    end=ctx.engine.now,
+                    network_bytes=ctx.world.bytes_sent - ctx.net_before,
+                    map_pairs=len(ctx.pairs),
+                )
+            )
+            ctx.iterations_done[0] = ctx.iteration + 1
+        # Feedback point: the node's policy may refit its split from the
+        # trace before the next iteration.
+        ctx.sched.policy.on_iteration_end(ctx.iteration)
+        if ctx.iterative:
+            ctx.stop = yield from ctx.comm.bcast(
+                ctx.stop if ctx.rank == 0 else None,
+                root=0,
+                tag=4000 + ctx.iteration,
+            )
+
+
+#: The per-iteration pipeline, in execution order.
+ITERATION_PHASES: tuple[type[Phase], ...] = (
+    BroadcastState,
+    MapPhase,
+    CombinePhase,
+    ShufflePhase,
+    ReducePhase,
+    GatherPhase,
+    ConvergencePhase,
+)

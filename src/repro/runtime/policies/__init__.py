@@ -1,0 +1,38 @@
+"""Pluggable sub-task scheduling policies (§III.B.2 made first-class).
+
+The paper's two strategies — static analytic split and dynamic block
+polling — plus two paper-grounded extensions live here behind a common
+:class:`SchedulingPolicy` interface and a name registry.  The
+:class:`~repro.runtime.job.Scheduling` enum values are aliases for the
+built-in registry names:
+
+========================  ====================================================
+``static``                Equation (8) split + §III.B.3b granularities
+``dynamic``               shared-queue block polling (MinBs-derived count)
+``adaptive-feedback``     static split refit to observed device rates
+``locality-dynamic``      polling that honours GPU block-cache affinity
+========================  ====================================================
+"""
+
+from repro.runtime.policies.adaptive_feedback import AdaptiveFeedbackPolicy
+from repro.runtime.policies.base import SchedulingPolicy
+from repro.runtime.policies.dynamic import DynamicPolicy, dynamic_block_count
+from repro.runtime.policies.locality import LocalityDynamicPolicy
+from repro.runtime.policies.registry import (
+    available_policies,
+    get_policy,
+    register_policy,
+)
+from repro.runtime.policies.static import StaticPolicy
+
+__all__ = [
+    "AdaptiveFeedbackPolicy",
+    "DynamicPolicy",
+    "LocalityDynamicPolicy",
+    "SchedulingPolicy",
+    "StaticPolicy",
+    "available_policies",
+    "dynamic_block_count",
+    "get_policy",
+    "register_policy",
+]

@@ -1,0 +1,80 @@
+"""Adaptive feedback policy: Equation (8) re-derived from measurements.
+
+The paper contrasts PRS's model-driven split with Qilin's
+training-derived projections (§II.B).  This policy makes that idea
+*online*: the first iteration runs on the analytic split, then between
+iterations the CPU fraction ``p`` is re-derived from the rates each
+device actually achieved (:func:`repro.core.analytic.feedback_split`
+applied to the trace's observed GFLOP/s over the last window).  On
+devices that perform exactly as the roofline model predicts the fraction
+converges to the Equation (8) value; on a perturbed device (thermal
+throttling, a co-tenant stealing cores, a mis-specified spec sheet) the
+split chases the measured rates instead of the stale model.
+
+Only meaningful for iterative apps — a single-pass job never reaches the
+feedback point, so it degenerates to :class:`StaticPolicy`.
+"""
+
+from __future__ import annotations
+
+from repro.core.analytic import feedback_split, observe_device_rate
+from repro.runtime.policies.registry import register_policy
+from repro.runtime.policies.static import StaticPolicy
+
+
+@register_policy
+class AdaptiveFeedbackPolicy(StaticPolicy):
+    """Static split whose ``p`` is refit to observed device rates."""
+
+    name = "adaptive-feedback"
+
+    def __init__(self, sched) -> None:
+        super().__init__(sched)
+        #: feedback-derived CPU fraction; ``None`` until first observation
+        self._p: float | None = None
+        #: trace window start for the next observation
+        self._since: float = 0.0
+
+    # ------------------------------------------------------------------
+    def _weights(self) -> list[float]:
+        return self.sched.device_weights(p_override=self._p)
+
+    def effective_cpu_fraction(self) -> float | None:
+        if self._p is not None:
+            return self._p
+        return super().effective_cpu_fraction()
+
+    # ------------------------------------------------------------------
+    def on_iteration_end(self, iteration: int) -> None:
+        sched = self.sched
+        if sched.cpu_daemon is None or not sched.gpu_daemons:
+            return  # single device class: nothing to split
+        decision = sched.split_decision
+        assert decision is not None
+        trace = sched.trace
+        node = sched.res.node
+
+        cpu_obs = observe_device_rate(
+            trace, sched.cpu_daemon.device_name, since=self._since
+        )
+        gpu_flops = 0.0
+        gpu_busy = 0.0
+        for daemon in sched.gpu_daemons:
+            obs = observe_device_rate(trace, daemon.device_name, since=self._since)
+            gpu_flops += obs.flops
+            gpu_busy += obs.busy_seconds
+        self._since = sched.res.engine.now
+
+        # A device the current split left idle produced no measurement;
+        # fall back to its modelled rate so feedback can re-engage it.
+        cpu_rate = cpu_obs.gflops if cpu_obs.gflops > 0.0 else decision.cpu_rate
+        gpu_rate = (
+            gpu_flops / gpu_busy / 1e9 if gpu_busy > 0.0 else decision.gpu_rate
+        )
+        if cpu_rate <= 0.0 and gpu_rate <= 0.0:
+            return  # no signal at all: keep the current split
+
+        nbytes = max(sched.app.total_bytes(), 1.0)
+        a_c = sched.app.intensity().at(nbytes)
+        a_g = sched.app.gpu_intensity().at(nbytes)
+        self._p = feedback_split(a_c, a_g, cpu_rate, gpu_rate)

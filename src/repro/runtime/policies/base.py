@@ -1,0 +1,68 @@
+"""The pluggable sub-task scheduling policy interface.
+
+The paper hardwires two strategies into the sub-task scheduler
+(§III.B.2); heterogeneous runtimes like StarPU and XKaapi showed that the
+scheduling policy is better treated as a first-class, swappable
+component.  A :class:`SchedulingPolicy` owns exactly the decision the
+paper's strategies disagree on — *how a node-level partition is spread
+over that node's device daemons* — and optionally observes the end of
+each driver iteration to adapt.
+
+One policy instance is created per :class:`SubTaskScheduler` (i.e. per
+node per job), so policies may keep per-node state across iterations
+(the adaptive-feedback ``p``, locality affinity maps, ...).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, ClassVar, Generator
+
+from repro.runtime.api import Block
+from repro.runtime.shuffle import KeyValue
+from repro.simulate.engine import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.scheduler import SubTaskScheduler
+
+
+class SchedulingPolicy(abc.ABC):
+    """How one node's partition is split across its device daemons."""
+
+    #: registry name; subclasses must override
+    name: ClassVar[str] = "?"
+
+    def __init__(self, sched: "SubTaskScheduler") -> None:
+        self.sched = sched
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def run_map_partition(
+        self, partition: Block, sink: list[KeyValue]
+    ) -> Generator[Event, Any, None]:
+        """Process fragment: map *partition* on this node's daemons.
+
+        Called once per node-level partition per iteration with a
+        non-empty *partition*; implementations append the emitted
+        key/value pairs to *sink*.
+        """
+
+    def on_iteration_end(self, iteration: int) -> None:
+        """Hook: the driver finished iteration *iteration* on this node.
+
+        Called after reduce outputs are gathered and (for iterative apps)
+        the application state is updated, before the convergence
+        broadcast.  Policies may inspect the shared trace here and adjust
+        their strategy for the next iteration.  Default: no-op.
+        """
+
+    def effective_cpu_fraction(self) -> float | None:
+        """The CPU fraction currently steering this policy's splits.
+
+        ``None`` for policies that do not pre-split (pure polling).
+        """
+        decision = self.sched.split_decision
+        return None if decision is None else decision.p
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

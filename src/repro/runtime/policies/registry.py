@@ -1,0 +1,54 @@
+"""Name → policy-class registry.
+
+Policies self-register at import time via the :func:`register_policy`
+decorator; :func:`get_policy` is the single lookup used by
+:class:`~repro.runtime.job.JobConfig` validation and by the sub-task
+scheduler.  External code can register additional policies under new
+names — the ``Scheduling`` enum members are just aliases for the four
+built-in names.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.policies.base import SchedulingPolicy
+
+_REGISTRY: dict[str, "Type[SchedulingPolicy]"] = {}
+
+
+def register_policy(cls: "Type[SchedulingPolicy]") -> "Type[SchedulingPolicy]":
+    """Class decorator: register *cls* under its ``name`` attribute."""
+    name = cls.name
+    if not name or name == "?":
+        raise ValueError(f"policy class {cls.__name__} must set a name")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"scheduling policy {name!r} already registered by "
+            f"{existing.__name__}"
+        )
+    _REGISTRY[name] = cls
+    return cls
+
+
+def get_policy(name: str) -> "Type[SchedulingPolicy]":
+    """Look up a policy class by registry name.
+
+    Raises ``ValueError`` (listing the available names) for unknown
+    policies, so a typo in ``JobConfig(scheduling=...)`` fails at
+    configuration time rather than mid-job.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {name!r}; "
+            f"available: {', '.join(available_policies())}"
+        ) from None
+
+
+def available_policies() -> list[str]:
+    """Sorted names of every registered policy."""
+    return sorted(_REGISTRY)

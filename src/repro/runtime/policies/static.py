@@ -1,0 +1,78 @@
+"""The paper's static strategy as a policy (§III.B.2, first bullet).
+
+Split the partition between the CPU and GPU daemons by the analytic
+fraction ``p`` of Equation (8), then choose per-device granularities per
+§III.B.3b (CPU: ``multiplier x cores`` blocks; GPU: streams when
+Equations (9)/(11) say they pay off).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.granularity import cpu_block_count, plan_granularity
+from repro.runtime.api import Block
+from repro.runtime.partition import weighted_partition
+from repro.runtime.policies.base import SchedulingPolicy
+from repro.runtime.policies.registry import register_policy
+from repro.runtime.shuffle import KeyValue
+from repro.simulate.engine import Event
+
+
+@register_policy
+class StaticPolicy(SchedulingPolicy):
+    """Analytic split (Equation 8) + granularity plan (§III.B.3b)."""
+
+    name = "static"
+
+    def _weights(self) -> list[float]:
+        """Per-device work fractions; adaptive subclasses override."""
+        return self.sched.device_weights()
+
+    def run_map_partition(
+        self, partition: Block, sink: list[KeyValue]
+    ) -> Generator[Event, Any, None]:
+        sched = self.sched
+        engine = sched.res.engine
+        weights = self._weights()
+        ranges = weighted_partition(partition.n_items, weights)
+        sub_parts = [
+            Block(partition.start + lo, partition.start + hi) for lo, hi in ranges
+        ]
+        procs = []
+        idx = 0
+        if sched.cpu_daemon is not None:
+            cpu_part = sub_parts[idx]
+            idx += 1
+            if cpu_part.n_items > 0:
+                n_blocks = cpu_block_count(
+                    sched.res.node.cpu.cores, sched.config.cpu_block_multiplier
+                )
+                blocks = cpu_part.split(min(n_blocks, cpu_part.n_items))
+                procs.append(
+                    engine.process(
+                        sched.cpu_daemon.run_map_blocks(blocks, sink), name="cpu-d"
+                    )
+                )
+        for daemon in sched.gpu_daemons:
+            gpu_part = sub_parts[idx]
+            idx += 1
+            if gpu_part.n_items == 0:
+                continue
+            plan = plan_granularity(
+                daemon.gpu,
+                sched.res.node.cpu.cores,
+                sched.app.gpu_intensity(),
+                sched.app.block_bytes(gpu_part),
+                cpu_multiplier=sched.config.cpu_block_multiplier,
+                overlap_threshold=sched.config.overlap_threshold,
+            )
+            blocks = gpu_part.split(min(plan.gpu_blocks, gpu_part.n_items))
+            n_streams = plan.gpu_blocks if plan.use_streams else 1
+            procs.append(
+                engine.process(
+                    daemon.run_map_blocks(blocks, sink, n_streams=n_streams),
+                    name="gpu-d",
+                )
+            )
+        yield engine.all_of(procs)

@@ -6,11 +6,14 @@ plus the job driver of §III.A.2:
 * the master splits the input into ``2 x n_nodes`` partitions (weighted by
   node capability for inhomogeneous clusters) and assigns them to worker
   sub-task schedulers;
-* each iteration: broadcast of the loop state (iterative apps), map on
-  every node's devices, optional combiner, cross-cluster shuffle of the
-  intermediate buckets, distributed reduce, gather of the reduce outputs
-  at the master, and — for iterative apps — a state update plus a
-  convergence broadcast.
+* each iteration runs the phase pipeline of :mod:`repro.runtime.phases` —
+  broadcast of the loop state (iterative apps), map on every node's
+  devices, optional combiner, cross-cluster shuffle of the intermediate
+  buckets, distributed reduce, gather of the reduce outputs at the
+  master, and a convergence step (state update + stop broadcast for
+  iterative apps).  Every phase brackets itself in the trace, so the
+  returned :class:`~repro.runtime.job.JobResult` carries a per-iteration,
+  per-phase time breakdown.
 
 Data placement convention: like the paper's experiments ("the input
 matrices were copied into CPU and GPU memories in advance", §IV.A.1), the
@@ -25,20 +28,16 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from repro._validation import require_positive_int
-from repro.comm.mpi import RankComm, World, payload_nbytes, run_spmd
+from repro.comm.mpi import RankComm, World, run_spmd
 from repro.core.analytic import node_partition_weights
 from repro.hardware.cluster import Cluster
 from repro.runtime.api import Block, IterativeMapReduceApp, MapReduceApp
 from repro.runtime.daemons import NodeResources
-from repro.runtime.iterative import IterationLog, IterationStats
+from repro.runtime.iterative import IterationLog
 from repro.runtime.job import JobConfig, JobResult
 from repro.runtime.partition import weighted_partition
+from repro.runtime.phases import ITERATION_PHASES, PhaseContext, SetupPhase
 from repro.runtime.scheduler import SubTaskScheduler
-from repro.runtime.shuffle import (
-    apply_combiner,
-    group_by_key,
-    hash_partition,
-)
 from repro.simulate.engine import Engine, Event
 from repro.simulate.trace import Trace
 
@@ -83,97 +82,32 @@ class PRSRuntime:
 
         def worker(comm: RankComm) -> Generator[Event, Any, None]:
             rank = comm.rank
-            sched = schedulers[rank]
-            yield engine.timeout(config.overheads.job_setup_s)
-            # Master ships partition descriptors (index ranges — tiny).
-            descriptors = (
-                [[(p.start, p.stop) for p in parts] for parts in node_partitions]
-                if rank == 0
-                else None
+            ctx = PhaseContext(
+                engine=engine,
+                world=world,
+                comm=comm,
+                sched=schedulers[rank],
+                resources=resources[rank],
+                app=app,
+                config=config,
+                trace=trace,
+                iterative=iterative,
+                max_iterations=max_iterations,
+                node_partitions=node_partitions,
+                final_output=final_output,
+                iteration_log=iteration_log,
+                iterations_done=iterations_done,
             )
-            my_descr = yield from comm.scatter(descriptors, root=0)
-            my_parts = [Block(lo, hi) for lo, hi in my_descr]
-
-            iteration = 0
+            yield from SetupPhase().run(ctx)
+            pipeline = [phase_cls() for phase_cls in ITERATION_PHASES]
             while True:
-                iter_start = engine.now
-                net_before = world.bytes_sent
-                if iterative:
-                    # Broadcast the loop state (centers etc.).  State lives
-                    # in shared memory functionally; the broadcast charges
-                    # its wire cost.
-                    state = app.iteration_state() if rank == 0 else None
-                    yield from comm.bcast(state, root=0, tag=1000 + iteration)
-                    yield engine.timeout(config.overheads.iteration_s)
-
-                # ---- map stage -------------------------------------------------
-                pairs: list[tuple[Any, Any]] = []
-                for part in my_parts:
-                    yield from sched.run_map_partition(part, pairs)
-                if app.has_combiner():
-                    pairs = apply_combiner(pairs, app.combiner)
-
-                # ---- shuffle ---------------------------------------------------
-                # Personalized all-to-all of the per-node key buckets, so
-                # "pairs with the same key are stored consecutively in a
-                # bucket on the same node" (§III.A.2).
-                buckets = hash_partition(pairs, comm.size)
-                incoming = yield from comm.alltoall(
-                    buckets, tag=100_000 + iteration * 256
-                )
-                mine = [kv for bucket in incoming for kv in bucket]
-
-                # ---- reduce stage ----------------------------------------------
-                if config.sort_intermediate and mine:
-                    # Sort cost: n log2 n comparisons at ~20ns each on the
-                    # node CPU — the "sorted in CPU memory" step.
-                    from math import log2
-
-                    from repro.runtime.shuffle import sort_pairs
-
-                    n_pairs = len(mine)
-                    sort_cost = 2e-8 * n_pairs * max(log2(n_pairs), 1.0)
-                    yield engine.timeout(sort_cost)
-                    mine = sort_pairs(mine, compare=app.compare)
-                groups = group_by_key(mine)
-                local_out: dict[Any, Any] = {}
-                yield from sched.run_reduce(groups, local_out)
-
-                gathered = yield from comm.gather(
-                    local_out, root=0, tag=3000 + iteration
-                )
-                # End of stage: bulk-free every daemon region (§III.C.2 —
-                # "the collection of allocated objects in the region can
-                # be deallocated all at once").
-                resources[rank].allocator.reset_all()
-
-                stop = True
-                if rank == 0:
-                    merged: dict[Any, Any] = {}
-                    for part_out in gathered:
-                        merged.update(part_out)
-                    final_output.clear()
-                    final_output.update(merged)
-                    if iterative:
-                        app.update(merged)
-                        stop = app.converged or (iteration + 1) >= max_iterations
-                    iteration_log.add(
-                        IterationStats(
-                            index=iteration,
-                            start=iter_start,
-                            end=engine.now,
-                            network_bytes=world.bytes_sent - net_before,
-                            map_pairs=len(pairs),
-                        )
-                    )
-                    iterations_done[0] = iteration + 1
-                if iterative:
-                    stop = yield from comm.bcast(
-                        stop if rank == 0 else None, root=0, tag=4000 + iteration
-                    )
-                if stop or not iterative:
+                ctx.iter_start = engine.now
+                ctx.net_before = world.bytes_sent
+                for phase in pipeline:
+                    yield from phase.run(ctx)
+                if ctx.stop or not iterative:
                     break
-                iteration += 1
+                ctx.iteration += 1
 
         run_spmd(world, worker)
 
@@ -190,6 +124,12 @@ class PRSRuntime:
             total_flops=trace.total_flops(),
             network_bytes=world.bytes_sent,
             iteration_log=iteration_log,
+            policy=config.policy_name,
+            final_cpu_fractions=[
+                s.policy.effective_cpu_fraction()
+                for s in schedulers
+                if s.cpu_daemon is not None and s.gpu_daemons
+            ],
         )
 
     # ------------------------------------------------------------------

@@ -5,28 +5,25 @@ Level 1 — the **task scheduler** on the master — lives in
 node by default) and ships partitions to workers.
 
 Level 2 — the **sub-task scheduler** on each worker — is
-:class:`SubTaskScheduler` here.  It supports the paper's two strategies:
-
-* **static** — split the partition between the CPU and GPU daemons by the
-  analytic fraction ``p`` of Equation (8), then choose per-device
-  granularities per §III.B.3b (CPU: ``multiplier x cores`` blocks; GPU:
-  streams when Equation (9)/(11) say they pay off);
-* **dynamic** — chop the partition into fixed-size blocks that idle
-  device daemons poll from a shared queue ("it is non-trivial work to find
-  out the appropriate block sizes" — the ablation benchmark shows exactly
-  that sensitivity).
+:class:`SubTaskScheduler` here.  *How* a node-level partition is spread
+over the device daemons is delegated to a pluggable
+:class:`~repro.runtime.policies.SchedulingPolicy` looked up in the policy
+registry by ``config.scheduling``: the paper's two strategies
+(``static``, ``dynamic``) plus the adaptive-feedback and
+locality-dynamic extensions live in :mod:`repro.runtime.policies`.  The
+scheduler itself keeps what every policy shares: the device daemons, the
+Equation (8) split decision, and the reduce path.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Any, Generator
 
 from repro.core.analytic import SplitDecision, multi_device_split, workload_split
-from repro.core.granularity import plan_granularity
 from repro.runtime.api import Block, MapReduceApp
 from repro.runtime.daemons import CpuDaemon, GpuDaemon, NodeResources
-from repro.runtime.job import JobConfig, Scheduling
+from repro.runtime.job import JobConfig
+from repro.runtime.policies import SchedulingPolicy, get_policy
 from repro.runtime.shuffle import KeyValue
 from repro.simulate.engine import Event
 from repro.simulate.trace import Trace
@@ -68,6 +65,7 @@ class SubTaskScheduler:
             )
 
         self.split_decision = self._decide_split()
+        self.policy: SchedulingPolicy = get_policy(config.policy_name)(self)
 
     # ------------------------------------------------------------------
     def _decide_split(self) -> SplitDecision | None:
@@ -98,8 +96,13 @@ class SubTaskScheduler:
             )
         return decision
 
-    def device_weights(self) -> list[float]:
-        """Work fractions per engaged device: [cpu?, gpu0, gpu1, ...]."""
+    def device_weights(self, p_override: float | None = None) -> list[float]:
+        """Work fractions per engaged device: [cpu?, gpu0, gpu1, ...].
+
+        *p_override* replaces the CPU fraction (adaptive policies feed the
+        measured ``p`` back through here); ``None`` keeps the Equation (8)
+        decision / ``force_cpu_fraction`` behaviour.
+        """
         if self.cpu_daemon is not None and not self.gpu_daemons:
             return [1.0]
         if self.cpu_daemon is None:
@@ -107,7 +110,7 @@ class SubTaskScheduler:
             n = len(self.gpu_daemons)
             return [1.0 / n] * n
         assert self.split_decision is not None
-        p = self.split_decision.p
+        p = self.split_decision.p if p_override is None else p_override
         n = len(self.gpu_daemons)
         if n == 1:
             return [p, 1.0 - p]
@@ -120,8 +123,10 @@ class SubTaskScheduler:
             staged=staged,
             partition_bytes=max(self.app.total_bytes(), 1.0),
         )
-        if self.config.force_cpu_fraction is not None:
-            forced = self.config.force_cpu_fraction
+        forced = (
+            p_override if p_override is not None else self.config.force_cpu_fraction
+        )
+        if forced is not None:
             rest = sum(fractions[1:])
             scale = (1.0 - forced) / rest if rest > 0 else 0.0
             fractions = [forced] + [f * scale for f in fractions[1:]]
@@ -133,100 +138,10 @@ class SubTaskScheduler:
     def run_map_partition(
         self, partition: Block, sink: list[KeyValue]
     ) -> Generator[Event, Any, None]:
-        """Process fragment: map *partition* with the configured strategy."""
+        """Process fragment: map *partition* with the configured policy."""
         if partition.n_items == 0:
             return
-        if self.config.scheduling is Scheduling.STATIC:
-            yield from self._run_static(partition, sink)
-        else:
-            yield from self._run_dynamic(partition, sink)
-
-    def _run_static(
-        self, partition: Block, sink: list[KeyValue]
-    ) -> Generator[Event, Any, None]:
-        engine = self.res.engine
-        weights = self.device_weights()
-        from repro.runtime.partition import weighted_partition
-
-        ranges = weighted_partition(partition.n_items, weights)
-        sub_parts = [
-            Block(partition.start + lo, partition.start + hi) for lo, hi in ranges
-        ]
-        procs = []
-        idx = 0
-        if self.cpu_daemon is not None:
-            cpu_part = sub_parts[idx]
-            idx += 1
-            if cpu_part.n_items > 0:
-                from repro.core.granularity import cpu_block_count
-
-                n_blocks = cpu_block_count(
-                    self.res.node.cpu.cores, self.config.cpu_block_multiplier
-                )
-                blocks = cpu_part.split(min(n_blocks, cpu_part.n_items))
-                procs.append(
-                    engine.process(
-                        self.cpu_daemon.run_map_blocks(blocks, sink), name="cpu-d"
-                    )
-                )
-        for daemon in self.gpu_daemons:
-            gpu_part = sub_parts[idx]
-            idx += 1
-            if gpu_part.n_items == 0:
-                continue
-            plan = plan_granularity(
-                daemon.gpu,
-                self.res.node.cpu.cores,
-                self.app.gpu_intensity(),
-                self.app.block_bytes(gpu_part),
-                cpu_multiplier=self.config.cpu_block_multiplier,
-                overlap_threshold=self.config.overlap_threshold,
-            )
-            blocks = gpu_part.split(min(plan.gpu_blocks, gpu_part.n_items))
-            n_streams = plan.gpu_blocks if plan.use_streams else 1
-            procs.append(
-                engine.process(
-                    daemon.run_map_blocks(blocks, sink, n_streams=n_streams),
-                    name="gpu-d",
-                )
-            )
-        yield engine.all_of(procs)
-
-    def _run_dynamic(
-        self, partition: Block, sink: list[KeyValue]
-    ) -> Generator[Event, Any, None]:
-        engine = self.res.engine
-        queue: deque[Block] = deque(
-            partition.split(min(self.config.dynamic_blocks, partition.n_items))
-        )
-
-        # NB: pollers are generators evaluated lazily — the daemon each one
-        # drives must be bound at definition time (default argument), not
-        # via the enclosing scope, or a later loop variable would rebind it.
-        def cpu_poller(d: CpuDaemon) -> Generator[Event, Any, None]:
-            while queue:
-                block = queue.popleft()
-                yield from d.run_map_block(block, sink)
-
-        def gpu_poller(d: GpuDaemon) -> Generator[Event, Any, None]:
-            while queue:
-                block = queue.popleft()
-                yield from d.run_map_block(block, sink)
-
-        procs = []
-        if self.cpu_daemon is not None:
-            # One poller per core: each holds one core at a time, so the
-            # pool stays saturated while work remains.
-            for _ in range(self.res.node.cpu.cores):
-                procs.append(
-                    engine.process(cpu_poller(self.cpu_daemon), name="cpu-poll")
-                )
-        for gpu_daemon in self.gpu_daemons:
-            procs.append(
-                engine.process(gpu_poller(gpu_daemon), name="gpu-poll")
-            )
-
-        yield engine.all_of(procs)
+        yield from self.policy.run_map_partition(partition, sink)
 
     # ------------------------------------------------------------------
     # Reduce phase

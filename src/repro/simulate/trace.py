@@ -3,6 +3,15 @@
 Every simulated activity (kernel, memory copy, network message, CPU block)
 appends a :class:`TaskRecord`; :class:`Trace` aggregates them into the
 utilization and timeline views the benchmarks report.
+
+Besides device-level records the trace also collects **phase spans**
+(:class:`PhaseSpan`): each runtime phase (broadcast, map, combine,
+shuffle, reduce, gather, convergence) brackets its execution on every
+rank, giving jobs a per-iteration, per-phase time breakdown
+(:meth:`Trace.phase_breakdown`) without touching the device records.
+The windowed queries (``since=``) expose per-device *observed* rates,
+which the adaptive-feedback scheduling policy folds back into the
+Equation (8) split between iterations.
 """
 
 from __future__ import annotations
@@ -39,11 +48,37 @@ class TaskRecord:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class PhaseSpan:
+    """One runtime phase executed on one rank during one iteration.
+
+    ``iteration`` is ``-1`` for the pre-loop setup phase (daemon spawn,
+    partition-descriptor scatter).
+    """
+
+    phase: str
+    rank: int
+    iteration: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"phase {self.phase!r}: end {self.end} precedes start {self.start}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
 class Trace:
     """An append-only log of :class:`TaskRecord` with summary queries."""
 
     def __init__(self) -> None:
         self._records: list[TaskRecord] = []
+        self._phases: list[PhaseSpan] = []
 
     # ------------------------------------------------------------------
     def add(self, record: TaskRecord) -> None:
@@ -70,13 +105,18 @@ class Trace:
         return len(self._records)
 
     def filter(
-        self, device: str | None = None, kind: str | None = None
+        self,
+        device: str | None = None,
+        kind: str | None = None,
+        since: float = 0.0,
     ) -> list[TaskRecord]:
         out = self._records
         if device is not None:
             out = [r for r in out if r.device == device]
         if kind is not None:
             out = [r for r in out if r.kind == kind]
+        if since > 0.0:
+            out = [r for r in out if r.start >= since]
         return list(out)
 
     @property
@@ -84,14 +124,19 @@ class Trace:
         """Latest end time across all records (0 for an empty trace)."""
         return max((r.end for r in self._records), default=0.0)
 
-    def busy_time(self, device: str, kind: str | None = None) -> float:
+    def busy_time(
+        self, device: str, kind: str | None = None, since: float = 0.0
+    ) -> float:
         """Union length of the busy intervals of *device*.
 
         Overlapping records (e.g. two streams on one GPU) are merged so a
-        device can never appear more than 100 % utilized.
+        device can never appear more than 100 % utilized.  *since*
+        restricts the query to records starting at or after that instant
+        (the adaptive-feedback policy's per-iteration window).
         """
         intervals = sorted(
-            (r.start, r.end) for r in self.filter(device=device, kind=kind)
+            (r.start, r.end)
+            for r in self.filter(device=device, kind=kind, since=since)
         )
         total = 0.0
         cur_start: float | None = None
@@ -121,12 +166,70 @@ class Trace:
             seen.setdefault(r.device, None)
         return list(seen)
 
-    def total_flops(self, device: str | None = None) -> float:
-        recs = self._records if device is None else self.filter(device=device)
+    def total_flops(self, device: str | None = None, since: float = 0.0) -> float:
+        recs = (
+            self._records
+            if device is None and since <= 0.0
+            else self.filter(device=device, since=since)
+        )
         return sum(r.flops for r in recs)
 
     def total_bytes(self, device: str | None = None, kind: str | None = None) -> float:
         return sum(r.nbytes for r in self.filter(device=device, kind=kind))
+
+    def observed_gflops(self, device: str, since: float = 0.0) -> float:
+        """Achieved device-level rate: executed flops over busy wall time.
+
+        This is the *measured* counterpart of the roofline-attainable
+        ``F_c`` / ``F_g`` of Equations (6)/(7): everything the device did
+        (kernels, staging, dispatch) counts toward busy time, so the rate
+        reflects what the device actually delivers per busy second.
+        Returns 0 when the device was idle over the window.
+        """
+        busy = self.busy_time(device, since=since)
+        if busy <= 0.0:
+            return 0.0
+        return self.total_flops(device, since=since) / busy / 1e9
+
+    # ------------------------------------------------------------------
+    # Phase spans
+    # ------------------------------------------------------------------
+    def record_phase(
+        self, phase: str, rank: int, iteration: int, start: float, end: float
+    ) -> None:
+        """Append one :class:`PhaseSpan` (runtime phase bracketing)."""
+        self._phases.append(PhaseSpan(phase, rank, iteration, start, end))
+
+    @property
+    def phase_spans(self) -> tuple[PhaseSpan, ...]:
+        return tuple(self._phases)
+
+    def phases(
+        self, rank: int | None = None, iteration: int | None = None
+    ) -> list[PhaseSpan]:
+        out = self._phases
+        if rank is not None:
+            out = [s for s in out if s.rank == rank]
+        if iteration is not None:
+            out = [s for s in out if s.iteration == iteration]
+        return list(out)
+
+    def phase_breakdown(self, rank: int = 0) -> dict[int, dict[str, float]]:
+        """Per-iteration ``{phase: seconds}`` for one rank.
+
+        Iteration ``-1`` holds the one-off setup phase.  Phases appear in
+        execution order; a phase spanning zero simulated time still shows
+        up with duration 0, so the breakdown's total equals the rank's
+        busy wall time (which matches the job makespan up to the final
+        convergence-broadcast latency on the other ranks).
+        """
+        out: dict[int, dict[str, float]] = {}
+        for span in self._phases:
+            if span.rank != rank:
+                continue
+            per_iter = out.setdefault(span.iteration, {})
+            per_iter[span.phase] = per_iter.get(span.phase, 0.0) + span.duration
+        return out
 
     # ------------------------------------------------------------------
     def gantt(self, width: int = 72) -> str:

@@ -184,3 +184,81 @@ class TestNodePartitionWeights:
     def test_gpu_only_weights(self, delta4):
         w = node_partition_weights(delta4, 500.0, staged=False, use_cpu=False)
         assert sum(w) == pytest.approx(1.0)
+
+
+class TestFeedbackSplit:
+    def test_matches_equation8_on_modelled_rates(self):
+        from repro.core.analytic import feedback_split
+
+        node = delta_node(n_gpus=1)
+        profile = cmeans_intensity(100)
+        decision = workload_split(node, profile, staged=False)
+        a = profile.at(1e9)
+        p = feedback_split(a, a, decision.cpu_rate, decision.gpu_rate)
+        assert p == pytest.approx(decision.p, rel=1e-9)
+
+    def test_equal_rates_split_evenly(self):
+        from repro.core.analytic import feedback_split
+
+        assert feedback_split(1.0, 1.0, 50.0, 50.0) == pytest.approx(0.5)
+
+    def test_idle_device_pins_split(self):
+        from repro.core.analytic import feedback_split
+
+        assert feedback_split(1.0, 1.0, 0.0, 10.0) == 0.0
+        assert feedback_split(1.0, 1.0, 10.0, 0.0) == 1.0
+
+    def test_both_idle_raises(self):
+        from repro.core.analytic import feedback_split
+
+        with pytest.raises(ValueError):
+            feedback_split(1.0, 1.0, 0.0, 0.0)
+
+    def test_rejects_nonpositive_intensity(self):
+        from repro.core.analytic import feedback_split
+
+        with pytest.raises(ValueError):
+            feedback_split(0.0, 1.0, 1.0, 1.0)
+
+    @given(
+        cpu=st.floats(min_value=1.0, max_value=1e4),
+        gpu=st.floats(min_value=1.0, max_value=1e4),
+        a=st.floats(min_value=0.01, max_value=1e3),
+    )
+    @settings(max_examples=50)
+    def test_fraction_bounds_and_monotonicity(self, cpu, gpu, a):
+        from repro.core.analytic import feedback_split
+
+        p = feedback_split(a, a, cpu, gpu)
+        assert 0.0 < p < 1.0
+        faster_cpu = feedback_split(a, a, cpu * 2.0, gpu)
+        assert faster_cpu > p
+
+
+class TestObserveDeviceRate:
+    def test_observation_from_trace(self):
+        from repro.core.analytic import observe_device_rate
+        from repro.simulate.trace import Trace
+
+        t = Trace()
+        t.record("k", "n.cpu", "compute", 0.0, 2.0, flops=6e9)
+        obs = observe_device_rate(t, "n.cpu")
+        assert obs.flops == 6e9
+        assert obs.busy_seconds == 2.0
+        assert obs.gflops == pytest.approx(3.0)
+
+    def test_windowed_observation(self):
+        from repro.core.analytic import observe_device_rate
+        from repro.simulate.trace import Trace
+
+        t = Trace()
+        t.record("old", "n.cpu", "compute", 0.0, 1.0, flops=1e9)
+        t.record("new", "n.cpu", "compute", 4.0, 5.0, flops=8e9)
+        obs = observe_device_rate(t, "n.cpu", since=4.0)
+        assert obs.gflops == pytest.approx(8.0)
+
+    def test_idle_device_zero_rate(self):
+        from repro.core.analytic import observe_device_rate
+        from repro.simulate.trace import Trace
+
+        assert observe_device_rate(Trace(), "n.gpu0").gflops == 0.0

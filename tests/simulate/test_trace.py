@@ -132,3 +132,74 @@ class TestExport:
         t.record("b", "gpu", "h2d", 2, 6, nbytes=50)
         rebuilt = Trace.from_records(t.to_records())
         assert rebuilt.summary() == t.summary()
+
+
+class TestPhaseSpans:
+    def _trace(self):
+        t = Trace()
+        t.record_phase("setup", 0, -1, 0.0, 0.5)
+        t.record_phase("map", 0, 0, 0.5, 2.0)
+        t.record_phase("reduce", 0, 0, 2.0, 2.5)
+        t.record_phase("map", 1, 0, 0.5, 1.5)
+        t.record_phase("map", 0, 1, 2.5, 3.5)
+        return t
+
+    def test_phase_spans_appended_in_order(self):
+        t = self._trace()
+        assert [s.phase for s in t.phase_spans] == [
+            "setup", "map", "reduce", "map", "map",
+        ]
+
+    def test_phases_filter_by_rank_and_iteration(self):
+        t = self._trace()
+        assert len(t.phases(rank=0)) == 4
+        assert len(t.phases(rank=0, iteration=0)) == 2
+        assert [s.phase for s in t.phases(iteration=-1)] == ["setup"]
+
+    def test_phase_breakdown_groups_per_iteration(self):
+        t = self._trace()
+        breakdown = t.phase_breakdown(rank=0)
+        assert breakdown[-1] == {"setup": 0.5}
+        assert breakdown[0] == {"map": 1.5, "reduce": 0.5}
+        assert breakdown[1] == {"map": 1.0}
+
+    def test_phase_breakdown_accumulates_repeated_phase(self):
+        t = Trace()
+        t.record_phase("map", 0, 0, 0.0, 1.0)
+        t.record_phase("map", 0, 0, 1.0, 1.25)
+        assert t.phase_breakdown()[0] == {"map": 1.25}
+
+    def test_reversed_span_rejected(self):
+        t = Trace()
+        with pytest.raises(ValueError):
+            t.record_phase("map", 0, 0, 2.0, 1.0)
+
+
+class TestObservedRates:
+    def test_observed_gflops_is_flops_over_busy(self):
+        t = Trace()
+        t.record("k", "n.gpu0", "compute", 0.0, 2.0, flops=4e9)
+        assert t.observed_gflops("n.gpu0") == pytest.approx(2.0)
+
+    def test_idle_device_observes_zero(self):
+        t = Trace()
+        assert t.observed_gflops("n.cpu") == 0.0
+
+    def test_since_window_restricts_observation(self):
+        t = Trace()
+        t.record("slow", "n.gpu0", "compute", 0.0, 2.0, flops=2e9)  # 1 GF/s
+        t.record("fast", "n.gpu0", "compute", 5.0, 6.0, flops=4e9)  # 4 GF/s
+        assert t.observed_gflops("n.gpu0") == pytest.approx(2.0)
+        assert t.observed_gflops("n.gpu0", since=5.0) == pytest.approx(4.0)
+
+    def test_filter_since_keeps_later_records(self):
+        t = Trace()
+        t.record("a", "d", "compute", 0.0, 1.0)
+        t.record("b", "d", "compute", 3.0, 4.0)
+        assert [r.label for r in t.filter(device="d", since=2.0)] == ["b"]
+
+    def test_overhead_counts_toward_busy_not_flops(self):
+        t = Trace()
+        t.record("k", "n.cpu", "compute", 0.0, 1.0, flops=1e9)
+        t.record("d", "n.cpu", "overhead", 1.0, 2.0)
+        assert t.observed_gflops("n.cpu") == pytest.approx(0.5)

@@ -81,3 +81,56 @@ class TestRun:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestPoliciesCommand:
+    def test_lists_registered_policies(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "static",
+            "dynamic",
+            "adaptive-feedback",
+            "locality-dynamic",
+        ):
+            assert name in out
+
+
+class TestRunPolicyFlag:
+    RUN = [
+        "run", "--app", "cmeans", "--size", "2000", "--nodes", "2",
+        "--iterations", "3",
+    ]
+
+    def test_adaptive_feedback_prints_breakdown(self, capsys):
+        assert main(self.RUN + ["--policy", "adaptive-feedback"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive-feedback" in out
+        assert "phase breakdown" in out
+        for phase in ("map", "shuffle", "reduce", "gather"):
+            assert phase in out
+
+    def test_default_run_prints_policy_and_phases(self, capsys):
+        assert main(self.RUN) == 0
+        out = capsys.readouterr().out
+        assert "policy         : static" in out
+        assert "phase breakdown" in out
+
+    def test_json_includes_policy_and_phase_breakdown(self, capsys):
+        import json
+
+        assert main(self.RUN + ["--policy", "locality-dynamic", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["policy"] == "locality-dynamic"
+        assert "-1" in payload["phase_breakdown"]
+        assert "map" in payload["phase_breakdown"]["0"]
+
+    def test_unknown_policy_fails(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            main(self.RUN + ["--policy", "nonsense"])
+
+    def test_report_includes_phase_table(self, capsys):
+        assert main(self.RUN + ["--report"]) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        assert "policy            : static" in out
