@@ -20,6 +20,10 @@ import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: destination directory for Chrome trace-event profiles, set from the
+#: ``--profile-out PATH`` pytest option (``None``: profiles are skipped)
+PROFILE_OUT: pathlib.Path | None = None
+
 
 def save_table(name: str, text: str) -> None:
     """Print a rendered table and persist it for the terminal summary."""
@@ -27,6 +31,20 @@ def save_table(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+
+
+def save_profile(name: str, trace) -> pathlib.Path | None:
+    """Write *trace*'s span hierarchy as a Chrome trace-event profile.
+
+    No-op unless the suite ran with ``--profile-out PATH``; returns the
+    written path (``<PATH>/<name>.trace.json``) or ``None``.
+    """
+    if PROFILE_OUT is None:
+        return None
+    PROFILE_OUT.mkdir(parents=True, exist_ok=True)
+    path = PROFILE_OUT / f"{name}.trace.json"
+    path.write_text(trace.tracer.to_chrome_json())
+    return path
 
 
 def once(benchmark, fn):

@@ -23,7 +23,7 @@ import json
 
 import pytest
 
-from _harness import RESULTS_DIR, once, save_table
+from _harness import RESULTS_DIR, once, save_profile, save_table
 from repro.analysis.tables import format_table
 from repro.apps.cmeans import CMeansApp
 from repro.data.synth import gaussian_mixture
@@ -111,6 +111,7 @@ def build_policy_sweep():
     results = {}
     for name in available_policies():
         job = run_job(name, dynamic_blocks=None)  # None: MinBs-derived count
+        save_profile(f"sched_policy_{name}", job.trace)
         results[name] = {
             "makespan_s": job.makespan,
             "gflops": job.gflops,

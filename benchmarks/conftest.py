@@ -7,7 +7,24 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 
+import _harness
 from _harness import RESULTS_DIR
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="directory to write Chrome trace-event profiles of benchmark "
+             "runs (BENCH_*.json companions); omit to skip profiles",
+    )
+
+
+def pytest_configure(config):
+    out = config.getoption("--profile-out", default=None)
+    if out is not None:
+        _harness.PROFILE_OUT = pathlib.Path(out)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

@@ -10,9 +10,60 @@ notebooks/scripts.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.analysis.tables import format_table
 from repro.hardware.cluster import Cluster
 from repro.runtime.job import JobResult
+
+
+def render_profile_summary(result: JobResult) -> str:
+    """Reconcile the observed per-device rates against the Equation (8)
+    prediction, plus the phase-tiling self-check.
+
+    For every compute device the table shows busy time, the *observed*
+    GFLOP/s (executed flops over busy wall time) and the roofline
+    *attainable* rate the split decision assumed (``F_c`` / ``F_g`` of
+    Equations 6/7); the ratio is how much of the modelled rate the
+    device delivered.  The trailing line reports how closely the
+    per-rank phase spans tile the makespan (the acceptance bound is
+    1e-6 s).
+    """
+    split = result.splits[0] if result.splits else None
+    rows = []
+    for device in sorted(result.trace.devices()):
+        if ".cpu" in device:
+            predicted = split.cpu_rate if split is not None else None
+        elif ".gpu" in device:
+            predicted = split.gpu_rate if split is not None else None
+        else:
+            continue  # NIC tracks etc. carry no compute prediction
+        observed = result.trace.observed_gflops(device)
+        busy = result.trace.busy_time(device)
+        ratio = observed / predicted if predicted else None
+        rows.append(
+            [
+                device,
+                f"{busy * 1e3:.3f} ms",
+                f"{observed:.2f}",
+                f"{predicted:.2f}" if predicted is not None else "-",
+                f"{ratio:.0%}" if ratio is not None else "-",
+            ]
+        )
+    lines = []
+    if rows:
+        lines.append(
+            format_table(
+                ["device", "busy", "observed GF/s", "predicted GF/s", "ratio"],
+                rows,
+                title="profile: observed vs Equation (8) attainable rates:",
+            )
+        )
+    gap = obs.phase_makespan_gap(result.trace, result.makespan)
+    lines.append(
+        f"phase tiling      : per-rank phase spans sum to the makespan "
+        f"within {gap:.3e} s"
+    )
+    return "\n".join(lines)
 
 
 def render_report(
@@ -100,6 +151,9 @@ def render_report(
                 title="phase breakdown (rank 0, summed over iterations):",
             )
         )
+
+    # ---- profile reconciliation -----------------------------------------
+    sections.append(render_profile_summary(result))
 
     # ---- iterations -------------------------------------------------------
     log = result.iteration_log

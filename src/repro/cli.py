@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands expose the library without writing code:
+The subcommands expose the library without writing code:
 
 ``advise``
     Print the analytic scheduling plan (Equations 8-11) for an application
@@ -13,7 +13,18 @@ Three subcommands expose the library without writing code:
 ``run``
     Run one of the built-in applications on a simulated preset cluster and
     print the job summary (split, makespan, throughput, per-device
-    utilization, per-phase time breakdown).
+    utilization, per-phase time breakdown).  ``--profile`` additionally
+    writes the run's Chrome trace-event profile and prints the
+    observed-vs-predicted reconciliation.
+
+``metrics``
+    Run an application and print the job's metrics registry in the
+    Prometheus text exposition format.
+
+``trace export``
+    Run an application and export its span hierarchy as Chrome
+    trace-event JSON (Perfetto-loadable) or JSONL; ``--check`` gates the
+    export on the profile self-consistency checks.
 
 ``policies``
     List the registered sub-task scheduling policies (selectable with
@@ -180,7 +191,8 @@ def cmd_policies(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
+def _run_job(args: argparse.Namespace):
+    """Build the cluster/app/config from shared run options and execute."""
     from repro.runtime.job import JobConfig
     from repro.runtime.prs import PRSRuntime
 
@@ -193,6 +205,24 @@ def cmd_run(args: argparse.Namespace) -> int:
         use_gpu=not args.cpu_only,
     )
     result = PRSRuntime(cluster, config).run(app)
+    return cluster, app, config, result
+
+
+def _write_profile(result, app, path: str | None) -> str:
+    """Write the run's Chrome trace-event profile; returns the path."""
+    if path is None:
+        path = f"{app.name}_profile.trace.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(result.trace.tracer.to_chrome_json())
+    return path
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cluster, app, config, result = _run_job(args)
+
+    profile_path: str | None = None
+    if args.profile or args.profile_out is not None:
+        profile_path = _write_profile(result, app, args.profile_out)
 
     if args.json:
         import json
@@ -218,6 +248,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             ],
             "device_summary": result.trace.summary(),
         }
+        if profile_path is not None:
+            payload["profile"] = profile_path
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
 
@@ -225,6 +257,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         from repro.analysis.report import render_report
 
         print(render_report(result, cluster, gantt=True))
+        if profile_path is not None:
+            print(f"\nprofile written: {profile_path} (Chrome trace-event "
+                  "JSON; load in Perfetto or chrome://tracing)")
         return 0
 
     print(f"app            : {app.name} ({app.n_items()} items)")
@@ -248,6 +283,52 @@ def cmd_run(args: argparse.Namespace) -> int:
         for phase, seconds in totals.items():
             share = seconds / result.makespan if result.makespan > 0 else 0.0
             print(f"  {phase:<12s} : {seconds * 1e3:9.3f} ms  ({share:.0%})")
+    if profile_path is not None:
+        from repro.analysis.report import render_profile_summary
+
+        print()
+        print(render_profile_summary(result))
+        print(f"profile written: {profile_path} (Chrome trace-event JSON; "
+              "load in Perfetto or chrome://tracing)")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    _, _, _, result = _run_job(args)
+    sys.stdout.write(result.trace.metrics.render())
+    return 0
+
+
+def cmd_trace_export(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    _, app, _, result = _run_job(args)
+
+    if args.check:
+        problems = obs.check_profile(result.trace, result.makespan)
+        if problems:
+            for problem in problems:
+                print(f"profile check FAILED: {problem}", file=sys.stderr)
+            return 1
+
+    if args.format == "chrome":
+        text = result.trace.tracer.to_chrome_json(indent=args.indent)
+        default_out = f"{app.name}.trace.json"
+    else:
+        text = result.trace.tracer.to_jsonl()
+        default_out = f"{app.name}.spans.jsonl"
+
+    out = args.out if args.out is not None else default_out
+    if out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        n_spans = len(result.trace.tracer)
+        print(f"wrote {n_spans} spans to {out} ({args.format})")
+        if args.check:
+            print("profile check passed: spans consistent, phases tile the "
+                  "makespan")
     return 0
 
 
@@ -321,31 +402,72 @@ def build_parser() -> argparse.ArgumentParser:
     policies.set_defaults(func=cmd_policies)
 
     run = sub.add_parser("run", help="run a built-in app on a simulated cluster")
-    run.add_argument("--app", default="cmeans",
-                     choices=["cmeans", "kmeans", "gmm", "gemv", "wordcount"])
-    run.add_argument("--node", choices=sorted(NODE_PRESETS), default="delta")
-    run.add_argument("--nodes", type=int, default=4)
-    run.add_argument("--size", type=int, default=20_000,
-                     help="points / rows / documents")
-    run.add_argument("--dims", type=int, default=16)
-    run.add_argument("--clusters", type=int, default=5)
-    run.add_argument("--iterations", type=int, default=10)
-    run.add_argument("--seed", type=int, default=1)
-    run.add_argument("--scheduling", choices=["static", "dynamic"],
-                     default="static")
-    run.add_argument("--policy", default=None,
-                     help="scheduling policy from the registry (overrides "
-                          "--scheduling); see `repro policies`")
-    group = run.add_mutually_exclusive_group()
-    group.add_argument("--gpu-only", action="store_true")
-    group.add_argument("--cpu-only", action="store_true")
+    _add_run_options(run)
     run.add_argument("--report", action="store_true",
                      help="print the full post-run report (devices, "
                           "iterations, timeline)")
     run.add_argument("--json", action="store_true",
                      help="emit the job result as JSON")
+    run.add_argument("--profile", action="store_true",
+                     help="write the Chrome trace-event profile "
+                          "({app}_profile.trace.json) and print the "
+                          "observed-vs-predicted summary")
+    run.add_argument("--profile-out", default=None, metavar="PATH",
+                     help="profile destination (implies --profile)")
     run.set_defaults(func=cmd_run)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run an app and print its metrics registry "
+             "(Prometheus text exposition)",
+    )
+    _add_run_options(metrics)
+    metrics.set_defaults(func=cmd_metrics)
+
+    trace = sub.add_parser("trace", help="trace/profile utilities")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    export = trace_sub.add_parser(
+        "export", help="run an app and export its span hierarchy"
+    )
+    _add_run_options(export)
+    export.add_argument("--format", choices=["chrome", "jsonl"],
+                        default="chrome",
+                        help="chrome: trace-event JSON for Perfetto / "
+                             "chrome://tracing; jsonl: one span per line")
+    export.add_argument("--out", default=None, metavar="PATH",
+                        help="output file ('-' for stdout; default "
+                             "{app}.trace.json / {app}.spans.jsonl)")
+    export.add_argument("--indent", type=int, default=None,
+                        help="pretty-print the chrome JSON")
+    export.add_argument("--check", action="store_true",
+                        help="fail (exit 1) unless the profile passes the "
+                             "span/metric self-consistency checks")
+    export.set_defaults(func=cmd_trace_export)
     return parser
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    """The options shared by every app-executing subcommand."""
+    parser.add_argument("--app", default="cmeans",
+                        choices=["cmeans", "kmeans", "gmm", "gemv",
+                                 "wordcount"])
+    parser.add_argument("--node", choices=sorted(NODE_PRESETS),
+                        default="delta")
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--size", type=int, default=20_000,
+                        help="points / rows / documents")
+    parser.add_argument("--dims", type=int, default=16)
+    parser.add_argument("--clusters", type=int, default=5)
+    parser.add_argument("--iterations", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--scheduling", choices=["static", "dynamic"],
+                        default="static")
+    parser.add_argument("--policy", default=None,
+                        help="scheduling policy from the registry (overrides "
+                             "--scheduling); see `repro policies`")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--gpu-only", action="store_true")
+    group.add_argument("--cpu-only", action="store_true")
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -28,6 +28,7 @@ from typing import Any, Callable, Generator
 
 import numpy as np
 
+from repro import obs
 from repro._validation import require_nonnegative_int
 from repro.hardware.cluster import NetworkSpec
 from repro.simulate.engine import Engine, Event
@@ -191,6 +192,14 @@ class RankComm:
                 start,
                 self.engine.now,
                 nbytes=nbytes,
+            )
+            metrics = self.world.trace.metrics
+            link = "local" if same_node else "remote"
+            metrics.counter(obs.COMM_MESSAGES).inc(
+                1, src=f"r{self.rank}", link=link
+            )
+            metrics.counter(obs.COMM_BYTES).inc(
+                nbytes, src=f"r{self.rank}", link=link
             )
         self.world.messages_sent += 1
         self.world.bytes_sent += nbytes

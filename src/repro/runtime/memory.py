@@ -131,6 +131,10 @@ class RegionAllocator:
         require_positive_int("region_bytes", region_bytes)
         self._region_bytes = region_bytes
         self._regions: dict[str, Region] = {}
+        self._resets = 0
+        #: counters already published to a metrics registry (diff base)
+        self._published = AllocationStats(backing_allocs=0)
+        self._published_resets = 0
 
     def region(self, thread_id: str) -> Region:
         reg = self._regions.get(thread_id)
@@ -145,10 +149,40 @@ class RegionAllocator:
     def reset_all(self) -> None:
         for region in self._regions.values():
             region.reset()
+        self._resets += 1
 
     @property
     def regions(self) -> dict[str, Region]:
         return dict(self._regions)
+
+    def publish_metrics(self, metrics, **labels) -> None:
+        """Flush counter deltas since the last publish into *metrics*.
+
+        *metrics* is a :class:`repro.obs.MetricsRegistry` (duck-typed to
+        keep this module free of runtime imports).  Called by the gather
+        phase just before the end-of-stage bulk free, so the registry
+        tracks bytes allocated, backing mallocs, growth copies, and
+        region resets per node without the allocator holding a registry.
+        """
+        from repro import obs
+
+        stats = self.total_stats()
+        prev = self._published
+        deltas = (
+            (obs.REGION_OBJECT_ALLOCS, stats.object_allocs - prev.object_allocs),
+            (obs.REGION_BACKING_ALLOCS, stats.backing_allocs - prev.backing_allocs),
+            (obs.REGION_BYTES_SERVED, stats.bytes_served - prev.bytes_served),
+            (obs.REGION_BYTES_COPIED, stats.bytes_copied - prev.bytes_copied),
+            (obs.REGION_RESETS, self._resets - self._published_resets),
+        )
+        for name, delta in deltas:
+            if delta > 0:
+                metrics.counter(name).inc(delta, **labels)
+        metrics.gauge(obs.REGION_CAPACITY_BYTES).set(
+            sum(r.capacity for r in self._regions.values()), **labels
+        )
+        self._published = stats
+        self._published_resets = self._resets
 
     def total_stats(self) -> AllocationStats:
         total = AllocationStats(backing_allocs=0)

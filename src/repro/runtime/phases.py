@@ -3,8 +3,10 @@
 ``PRSRuntime.run`` used to inline the whole per-rank lifecycle —
 broadcast → map → combine → shuffle → reduce → gather → converge — in
 one worker generator.  Each step is now a :class:`Phase` object that
-brackets its execution with a span in the shared trace
-(:meth:`repro.simulate.trace.Trace.record_phase`), giving every job a
+brackets its execution with a live span in the shared trace
+(:meth:`repro.simulate.trace.Trace.begin_phase` /
+:meth:`~repro.simulate.trace.Trace.end_phase`, which also maintain the
+job -> iteration -> phase span hierarchy), giving every job a
 per-iteration, per-phase time breakdown (``JobResult.phase_breakdown``)
 for free, without adding any simulated events: phases are pure code
 motion around the same yields, so schedules are bit-identical to the
@@ -23,6 +25,7 @@ from dataclasses import dataclass, field
 from math import log2
 from typing import TYPE_CHECKING, Any, ClassVar, Generator
 
+from repro import obs
 from repro.comm.mpi import RankComm, World
 from repro.runtime.api import Block, MapReduceApp
 from repro.runtime.iterative import IterationLog, IterationStats
@@ -94,13 +97,13 @@ class Phase(abc.ABC):
     name: ClassVar[str] = "?"
 
     def run(self, ctx: PhaseContext) -> Generator[Event, Any, None]:
-        start = ctx.engine.now
+        span = ctx.trace.begin_phase(
+            self.name, ctx.rank, self.iteration_index(ctx), ctx.engine.now
+        )
         gen = self.body(ctx)
         if gen is not None:
             yield from gen
-        ctx.trace.record_phase(
-            self.name, ctx.rank, self.iteration_index(ctx), start, ctx.engine.now
-        )
+        ctx.trace.end_phase(span, ctx.engine.now)
 
     @abc.abstractmethod
     def body(self, ctx: PhaseContext) -> Generator[Event, Any, None] | None:
@@ -190,6 +193,9 @@ class ShufflePhase(Phase):
             buckets, tag=100_000 + ctx.iteration * 256
         )
         ctx.mine = [kv for bucket in incoming for kv in bucket]
+        ctx.trace.metrics.counter(obs.SHUFFLE_PAIRS).inc(
+            len(ctx.mine), rank=str(ctx.rank)
+        )
 
 
 class ReducePhase(Phase):
@@ -221,6 +227,9 @@ class GatherPhase(Phase):
     def body(self, ctx: PhaseContext) -> Generator[Event, Any, None]:
         ctx.gathered = yield from ctx.comm.gather(
             ctx.local_out, root=0, tag=3000 + ctx.iteration
+        )
+        ctx.resources.allocator.publish_metrics(
+            ctx.trace.metrics, node=ctx.resources.node.name
         )
         ctx.resources.allocator.reset_all()
 
@@ -256,8 +265,9 @@ class ConvergencePhase(Phase):
                 )
             )
             ctx.iterations_done[0] = ctx.iteration + 1
+            ctx.trace.metrics.counter(obs.ITERATIONS).inc()
         # Feedback point: the node's policy may refit its split from the
-        # trace before the next iteration.
+        # observed metrics before the next iteration.
         ctx.sched.policy.on_iteration_end(ctx.iteration)
         if ctx.iterative:
             ctx.stop = yield from ctx.comm.bcast(

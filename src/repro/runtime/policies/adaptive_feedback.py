@@ -4,12 +4,19 @@ The paper contrasts PRS's model-driven split with Qilin's
 training-derived projections (§II.B).  This policy makes that idea
 *online*: the first iteration runs on the analytic split, then between
 iterations the CPU fraction ``p`` is re-derived from the rates each
-device actually achieved (:func:`repro.core.analytic.feedback_split`
-applied to the trace's observed GFLOP/s over the last window).  On
-devices that perform exactly as the roofline model predicts the fraction
-converges to the Equation (8) value; on a perturbed device (thermal
-throttling, a co-tenant stealing cores, a mis-specified spec sheet) the
-split chases the measured rates instead of the stale model.
+device actually achieved.  On devices that perform exactly as the
+roofline model predicts the fraction converges to the Equation (8)
+value; on a perturbed device (thermal throttling, a co-tenant stealing
+cores, a mis-specified spec sheet) the split chases the measured rates
+instead of the stale model.
+
+The observed rates come from the metrics registry, not from re-scanning
+the trace: each refit diffs the monotonic per-device counters
+(``prs_device_flops_total`` over ``prs_device_busy_union_seconds_total``)
+against the snapshot taken at the previous refit.  That is O(devices)
+per refit regardless of trace length, and exact — refits happen at
+iteration boundaries, when no task is in flight, so no busy interval
+straddles the window edge.
 
 Only meaningful for iterative apps — a single-pass job never reaches the
 feedback point, so it degenerates to :class:`StaticPolicy`.
@@ -17,7 +24,8 @@ feedback point, so it degenerates to :class:`StaticPolicy`.
 
 from __future__ import annotations
 
-from repro.core.analytic import feedback_split, observe_device_rate
+from repro import obs
+from repro.core.analytic import feedback_split
 from repro.runtime.policies.registry import register_policy
 from repro.runtime.policies.static import StaticPolicy
 
@@ -32,8 +40,9 @@ class AdaptiveFeedbackPolicy(StaticPolicy):
         super().__init__(sched)
         #: feedback-derived CPU fraction; ``None`` until first observation
         self._p: float | None = None
-        #: trace window start for the next observation
-        self._since: float = 0.0
+        #: per-device (flops, busy-union-seconds) counter snapshots taken
+        #: at the last refit; the next refit diffs against these
+        self._snapshots: dict[str, tuple[float, float]] = {}
 
     # ------------------------------------------------------------------
     def _weights(self) -> list[float]:
@@ -45,29 +54,42 @@ class AdaptiveFeedbackPolicy(StaticPolicy):
         return super().effective_cpu_fraction()
 
     # ------------------------------------------------------------------
+    def _window(self, device: str) -> tuple[float, float]:
+        """(flops, busy seconds) *device* accumulated since the last refit.
+
+        Snapshot-and-diff over the monotonic counters the trace maintains;
+        also advances the snapshot, so each call consumes the window.
+        """
+        metrics = self.metrics
+        flops = metrics.counter(obs.DEVICE_FLOPS).value(device=device)
+        busy = metrics.counter(obs.DEVICE_BUSY_UNION_SECONDS).value(
+            device=device
+        )
+        prev_flops, prev_busy = self._snapshots.get(device, (0.0, 0.0))
+        self._snapshots[device] = (flops, busy)
+        return flops - prev_flops, busy - prev_busy
+
     def on_iteration_end(self, iteration: int) -> None:
         sched = self.sched
         if sched.cpu_daemon is None or not sched.gpu_daemons:
             return  # single device class: nothing to split
         decision = sched.split_decision
         assert decision is not None
-        trace = sched.trace
         node = sched.res.node
 
-        cpu_obs = observe_device_rate(
-            trace, sched.cpu_daemon.device_name, since=self._since
-        )
+        cpu_flops, cpu_busy = self._window(sched.cpu_daemon.device_name)
         gpu_flops = 0.0
         gpu_busy = 0.0
         for daemon in sched.gpu_daemons:
-            obs = observe_device_rate(trace, daemon.device_name, since=self._since)
-            gpu_flops += obs.flops
-            gpu_busy += obs.busy_seconds
-        self._since = sched.res.engine.now
+            flops, busy = self._window(daemon.device_name)
+            gpu_flops += flops
+            gpu_busy += busy
 
         # A device the current split left idle produced no measurement;
         # fall back to its modelled rate so feedback can re-engage it.
-        cpu_rate = cpu_obs.gflops if cpu_obs.gflops > 0.0 else decision.cpu_rate
+        cpu_rate = cpu_flops / cpu_busy / 1e9 if cpu_busy > 0.0 else 0.0
+        if cpu_rate <= 0.0:
+            cpu_rate = decision.cpu_rate
         gpu_rate = (
             gpu_flops / gpu_busy / 1e9 if gpu_busy > 0.0 else decision.gpu_rate
         )
@@ -78,3 +100,9 @@ class AdaptiveFeedbackPolicy(StaticPolicy):
         a_c = sched.app.intensity().at(nbytes)
         a_g = sched.app.gpu_intensity().at(nbytes)
         self._p = feedback_split(a_c, a_g, cpu_rate, gpu_rate)
+        self.metrics.counter(obs.POLICY_REFITS).inc(
+            1, policy=self.name, node=node.name
+        )
+        self.metrics.gauge(obs.POLICY_CPU_FRACTION).set(
+            self._p, policy=self.name, node=node.name
+        )

@@ -18,6 +18,7 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Any, ClassVar, Generator
 
+from repro import obs
 from repro.runtime.api import Block
 from repro.runtime.shuffle import KeyValue
 from repro.simulate.engine import Event
@@ -34,6 +35,25 @@ class SchedulingPolicy(abc.ABC):
 
     def __init__(self, sched: "SubTaskScheduler") -> None:
         self.sched = sched
+
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> "obs.MetricsRegistry":
+        """The job's metrics registry (shared through the trace)."""
+        return self.sched.trace.metrics
+
+    def count_dispatch(self, device_name: str, n: int = 1) -> None:
+        """Account *n* map blocks dispatched to *device_name*."""
+        if n:
+            self.metrics.counter(obs.POLICY_BLOCKS).inc(
+                n, policy=self.name, device=device_name
+            )
+
+    def count_steal(self, device_name: str) -> None:
+        """Account one block taken against the policy's affinity."""
+        self.metrics.counter(obs.POLICY_STEALS).inc(
+            1, policy=self.name, device=device_name
+        )
 
     # ------------------------------------------------------------------
     @abc.abstractmethod

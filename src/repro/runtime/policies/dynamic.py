@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Generator
 
+from repro import obs
 from repro.core.granularity import cpu_block_count, min_block_size
 from repro.runtime.api import Block
 from repro.runtime.daemons import CpuDaemon, GpuDaemon
@@ -80,18 +81,25 @@ class DynamicPolicy(SchedulingPolicy):
         queue: deque[Block] = deque(
             partition.split(min(n_blocks, partition.n_items))
         )
+        depth = self.metrics.histogram(
+            obs.POLICY_QUEUE_DEPTH, buckets=obs.COUNT_BUCKETS
+        )
 
         # NB: pollers are generators evaluated lazily — the daemon each one
         # drives must be bound at definition time (default argument), not
         # via the enclosing scope, or a later loop variable would rebind it.
         def cpu_poller(d: CpuDaemon) -> Generator[Event, Any, None]:
             while queue:
+                depth.observe(len(queue), policy=self.name)
                 block = queue.popleft()
+                self.count_dispatch(d.device_name)
                 yield from d.run_map_block(block, sink)
 
         def gpu_poller(d: GpuDaemon) -> Generator[Event, Any, None]:
             while queue:
+                depth.observe(len(queue), policy=self.name)
                 block = queue.popleft()
+                self.count_dispatch(d.device_name)
                 yield from d.run_map_block(block, sink)
 
         procs = []

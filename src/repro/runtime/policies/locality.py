@@ -47,22 +47,28 @@ class LocalityDynamicPolicy(SchedulingPolicy):
             for i, block in enumerate(queue):
                 if d.is_cached(block):
                     return queue.pop(i)
-            return queue.pop(0)
+            block = queue.pop(0)
+            if any(g.is_cached(block) for g in gpu_daemons):
+                self.count_steal(d.device_name)
+            return block
 
-        def pop_for_cpu() -> Block:
+        def pop_for_cpu(d: CpuDaemon) -> Block:
             for i, block in enumerate(queue):
-                if not any(d.is_cached(block) for d in gpu_daemons):
+                if not any(g.is_cached(block) for g in gpu_daemons):
                     return queue.pop(i)
+            self.count_steal(d.device_name)
             return queue.pop(0)
 
         def cpu_poller(d: CpuDaemon) -> Generator[Event, Any, None]:
             while queue:
-                block = pop_for_cpu()
+                block = pop_for_cpu(d)
+                self.count_dispatch(d.device_name)
                 yield from d.run_map_block(block, sink)
 
         def gpu_poller(d: GpuDaemon) -> Generator[Event, Any, None]:
             while queue:
                 block = pop_for_gpu(d)
+                self.count_dispatch(d.device_name)
                 yield from d.run_map_block(block, sink)
 
         procs = []

@@ -49,6 +49,7 @@ class StaticPolicy(SchedulingPolicy):
                     sched.res.node.cpu.cores, sched.config.cpu_block_multiplier
                 )
                 blocks = cpu_part.split(min(n_blocks, cpu_part.n_items))
+                self.count_dispatch(sched.cpu_daemon.device_name, len(blocks))
                 procs.append(
                     engine.process(
                         sched.cpu_daemon.run_map_blocks(blocks, sink), name="cpu-d"
@@ -68,6 +69,7 @@ class StaticPolicy(SchedulingPolicy):
                 overlap_threshold=sched.config.overlap_threshold,
             )
             blocks = gpu_part.split(min(plan.gpu_blocks, gpu_part.n_items))
+            self.count_dispatch(daemon.device_name, len(blocks))
             n_streams = plan.gpu_blocks if plan.use_streams else 1
             procs.append(
                 engine.process(

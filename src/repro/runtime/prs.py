@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+from repro import obs
 from repro._validation import require_positive_int
 from repro.comm.mpi import RankComm, World, run_spmd
 from repro.core.analytic import node_partition_weights
@@ -71,6 +72,14 @@ class PRSRuntime:
         schedulers = [
             SubTaskScheduler(res, app, config, trace) for res in resources
         ]
+        # Bind every device (and the rank's NIC track) to its rank so the
+        # trace can nest device-block spans under the rank's open phase.
+        for rank, sched in enumerate(schedulers):
+            if sched.cpu_daemon is not None:
+                trace.bind_device(sched.cpu_daemon.device_name, rank)
+            for daemon in sched.gpu_daemons:
+                trace.bind_device(daemon.device_name, rank)
+            trace.bind_device(f"net.r{rank}", rank)
 
         node_partitions = self._partition_input(app)
         iterative = isinstance(app, IterativeMapReduceApp)
@@ -110,6 +119,10 @@ class PRSRuntime:
                 ctx.iteration += 1
 
         run_spmd(world, worker)
+
+        trace.finalize(engine.now)
+        trace.metrics.gauge(obs.JOB_MAKESPAN_SECONDS).set(engine.now)
+        trace.metrics.gauge(obs.JOB_ITERATIONS).set(iterations_done[0])
 
         return JobResult(
             output=dict(final_output),

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
+from repro import obs
 from repro.core.analytic import SplitDecision, multi_device_split, workload_split
 from repro.runtime.api import Block, MapReduceApp
 from repro.runtime.daemons import CpuDaemon, GpuDaemon, NodeResources
@@ -65,6 +66,10 @@ class SubTaskScheduler:
             )
 
         self.split_decision = self._decide_split()
+        if self.split_decision is not None:
+            trace.metrics.gauge(obs.SPLIT_CPU_FRACTION).set(
+                self.split_decision.p, node=node.name
+            )
         self.policy: SchedulingPolicy = get_policy(config.policy_name)(self)
 
     # ------------------------------------------------------------------

@@ -1,24 +1,44 @@
-"""Execution traces of simulated runs.
+"""Execution traces of simulated runs, backed by the observability layer.
 
 Every simulated activity (kernel, memory copy, network message, CPU block)
 appends a :class:`TaskRecord`; :class:`Trace` aggregates them into the
 utilization and timeline views the benchmarks report.
 
-Besides device-level records the trace also collects **phase spans**
-(:class:`PhaseSpan`): each runtime phase (broadcast, map, combine,
-shuffle, reduce, gather, convergence) brackets its execution on every
-rank, giving jobs a per-iteration, per-phase time breakdown
-(:meth:`Trace.phase_breakdown`) without touching the device records.
-The windowed queries (``since=``) expose per-device *observed* rates,
-which the adaptive-feedback scheduling policy folds back into the
-Equation (8) split between iterations.
+Since the observability layer landed, a trace is also the front door to
+it: each trace owns a :class:`~repro.obs.MetricsRegistry` and a
+:class:`~repro.obs.SpanTracer`, and every record/phase call feeds both —
+
+* :meth:`record` increments the per-device counters (busy seconds —
+  both raw occupancy and overlap-merged union — flops, bytes, task
+  counts) and emits a device-block span, parented under the rank's
+  currently open phase when the device has been bound to a rank;
+* :meth:`begin_phase` / :meth:`end_phase` bracket runtime phases live,
+  maintaining the job -> iteration -> phase span hierarchy per rank
+  (:meth:`record_phase` is the retrospective equivalent).
+
+``phase_breakdown`` / ``phase_spans`` / ``phases`` are thin compatibility
+views derived from the span tracer, so existing callers are unchanged.
+The windowed queries (``since=``) remain for ad-hoc analysis; online
+consumers like the adaptive-feedback policy read the monotonic counters
+instead (snapshot-and-diff, no trace re-scans).
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
+
+from repro.obs import (
+    DEVICE_BUSY_SECONDS,
+    DEVICE_BUSY_UNION_SECONDS,
+    DEVICE_BYTES,
+    DEVICE_FLOPS,
+    DEVICE_TASKS,
+    PHASE_SECONDS,
+    IntervalUnion,
+    MetricsRegistry,
+    Span,
+    SpanTracer,
+)
 
 
 @dataclass(frozen=True)
@@ -53,7 +73,8 @@ class PhaseSpan:
     """One runtime phase executed on one rank during one iteration.
 
     ``iteration`` is ``-1`` for the pre-loop setup phase (daemon spawn,
-    partition-descriptor scatter).
+    partition-descriptor scatter).  Compatibility view: the authoritative
+    store is the span tracer's ``phase``-category spans.
     """
 
     phase: str
@@ -76,13 +97,49 @@ class PhaseSpan:
 class Trace:
     """An append-only log of :class:`TaskRecord` with summary queries."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        tracer: SpanTracer | None = None,
+    ) -> None:
         self._records: list[TaskRecord] = []
-        self._phases: list[PhaseSpan] = []
+        #: the run's metrics registry (shared with policies and the CLI)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: the run's hierarchical span store
+        self.tracer = tracer if tracer is not None else SpanTracer()
+        self._busy_union: dict[str, IntervalUnion] = {}
+        self._device_rank: dict[str, int] = {}
+        self._open_phase: dict[int, Span] = {}
+        self._iter_span: dict[int, Span] = {}
+        self._job_span: dict[int, Span] = {}
 
     # ------------------------------------------------------------------
     def add(self, record: TaskRecord) -> None:
         self._records.append(record)
+        m = self.metrics
+        device, kind = record.device, record.kind
+        duration = record.duration
+        m.counter(DEVICE_BUSY_SECONDS).inc(duration, device=device, kind=kind)
+        m.counter(DEVICE_TASKS).inc(1, device=device, kind=kind)
+        if record.flops:
+            m.counter(DEVICE_FLOPS).inc(record.flops, device=device)
+        if record.nbytes:
+            m.counter(DEVICE_BYTES).inc(record.nbytes, device=device, kind=kind)
+        union = self._busy_union.get(device)
+        if union is None:
+            union = self._busy_union[device] = IntervalUnion()
+        added = union.add(record.start, record.end)
+        if added:
+            m.counter(DEVICE_BUSY_UNION_SECONDS).inc(added, device=device)
+        self.tracer.record(
+            record.label,
+            device,
+            record.start,
+            record.end,
+            category=kind,
+            parent_id=self._block_parent(device, record.start),
+            attrs={"nbytes": record.nbytes, "flops": record.flops},
+        )
 
     def record(
         self,
@@ -95,6 +152,21 @@ class Trace:
         flops: float = 0.0,
     ) -> None:
         self.add(TaskRecord(label, device, kind, start, end, nbytes, flops))
+
+    def _block_parent(self, device: str, start: float) -> int | None:
+        """The open phase span of the rank this device is bound to."""
+        rank = self._device_rank.get(device)
+        if rank is None:
+            return None
+        phase = self._open_phase.get(rank)
+        if phase is None or not phase.is_open or start < phase.start:
+            return None
+        return phase.span_id
+
+    def bind_device(self, device: str, rank: int) -> None:
+        """Declare that *device*'s activity belongs to *rank*'s node, so
+        its block spans nest under that rank's open phase spans."""
+        self._device_rank[device] = rank
 
     # ------------------------------------------------------------------
     @property
@@ -131,9 +203,13 @@ class Trace:
 
         Overlapping records (e.g. two streams on one GPU) are merged so a
         device can never appear more than 100 % utilized.  *since*
-        restricts the query to records starting at or after that instant
-        (the adaptive-feedback policy's per-iteration window).
+        restricts the query to records starting at or after that instant.
+        The full-trace no-kind union is also maintained incrementally as
+        the ``prs_device_busy_union_seconds_total`` counter.
         """
+        if kind is None and since <= 0.0:
+            union = self._busy_union.get(device)
+            return union.total if union is not None else 0.0
         intervals = sorted(
             (r.start, r.end)
             for r in self.filter(device=device, kind=kind, since=since)
@@ -192,27 +268,94 @@ class Trace:
         return self.total_flops(device, since=since) / busy / 1e9
 
     # ------------------------------------------------------------------
-    # Phase spans
+    # Phase spans (job -> iteration -> phase hierarchy per rank)
     # ------------------------------------------------------------------
+    def begin_phase(
+        self, phase: str, rank: int, iteration: int, start: float
+    ) -> Span:
+        """Open a live phase span, creating the enclosing job/iteration
+        spans of *rank* as needed.  Pair with :meth:`end_phase`."""
+        track = f"rank{rank}"
+        job = self._job_span.get(rank)
+        if job is None:
+            job = self.tracer.begin(
+                "job", track, start, category="job", parent_id=None
+            )
+            self._job_span[rank] = job
+        it_span = self._iter_span.get(rank)
+        if it_span is None or it_span.attrs.get("iteration") != iteration:
+            if it_span is not None and it_span.is_open:
+                self.tracer.end(it_span, start)
+            it_span = self.tracer.begin(
+                f"iteration {iteration}",
+                track,
+                start,
+                category="iteration",
+                parent_id=job.span_id,
+                attrs={"iteration": iteration},
+            )
+            self._iter_span[rank] = it_span
+        span = self.tracer.begin(
+            phase,
+            track,
+            start,
+            category="phase",
+            parent_id=it_span.span_id,
+            attrs={"rank": rank, "iteration": iteration},
+        )
+        self._open_phase[rank] = span
+        return span
+
+    def end_phase(self, span: Span, end: float) -> None:
+        """Close a live phase span and account its duration."""
+        self.tracer.end(span, end)
+        rank = span.attrs["rank"]
+        if self._open_phase.get(rank) is span:
+            del self._open_phase[rank]
+        self.metrics.counter(PHASE_SECONDS).inc(
+            span.duration, phase=span.name, rank=str(rank)
+        )
+
     def record_phase(
         self, phase: str, rank: int, iteration: int, start: float, end: float
     ) -> None:
-        """Append one :class:`PhaseSpan` (runtime phase bracketing)."""
-        self._phases.append(PhaseSpan(phase, rank, iteration, start, end))
+        """Append one finished phase span (retrospective bracketing)."""
+        if end < start:
+            raise ValueError(
+                f"phase {phase!r}: end {end} precedes start {start}"
+            )
+        self.end_phase(self.begin_phase(phase, rank, iteration, start), end)
+
+    def finalize(self, end_time: float) -> None:
+        """Close the open job/iteration envelope spans at *end_time*."""
+        self.tracer.finalize(end_time)
+        self._open_phase.clear()
+        self._iter_span.clear()
+        self._job_span.clear()
 
     @property
     def phase_spans(self) -> tuple[PhaseSpan, ...]:
-        return tuple(self._phases)
+        return tuple(
+            PhaseSpan(
+                phase=s.name,
+                rank=s.attrs["rank"],
+                iteration=s.attrs["iteration"],
+                start=s.start,
+                end=s.end,
+            )
+            for s in self.tracer.find(category="phase")
+            if s.end is not None
+        )
 
     def phases(
         self, rank: int | None = None, iteration: int | None = None
     ) -> list[PhaseSpan]:
-        out = self._phases
+        out = list(self.phase_spans)
         if rank is not None:
             out = [s for s in out if s.rank == rank]
         if iteration is not None:
             out = [s for s in out if s.iteration == iteration]
-        return list(out)
+        return out
 
     def phase_breakdown(self, rank: int = 0) -> dict[int, dict[str, float]]:
         """Per-iteration ``{phase: seconds}`` for one rank.
@@ -224,7 +367,7 @@ class Trace:
         convergence-broadcast latency on the other ranks).
         """
         out: dict[int, dict[str, float]] = {}
-        for span in self._phases:
+        for span in self.phase_spans:
             if span.rank != rank:
                 continue
             per_iter = out.setdefault(span.iteration, {})

@@ -83,6 +83,91 @@ class TestRun:
             main([])
 
 
+class TestProfileFlag:
+    RUN = [
+        "run", "--app", "cmeans", "--size", "2000", "--nodes", "2",
+        "--iterations", "3",
+    ]
+
+    def test_profile_writes_chrome_trace(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(self.RUN + ["--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "profile written: cmeans_profile.trace.json" in out
+        assert "observed vs Equation (8)" in out
+        assert "phase tiling" in out
+        import json
+
+        payload = json.loads((tmp_path / "cmeans_profile.trace.json").read_text())
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+    def test_profile_out_path(self, capsys, tmp_path):
+        target = tmp_path / "custom.json"
+        assert main(self.RUN + ["--profile-out", str(target)]) == 0
+        assert target.exists()
+
+    def test_json_mode_reports_profile_path(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "p.json"
+        assert main(self.RUN + ["--json", "--profile-out", str(target)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["profile"] == str(target)
+
+
+class TestMetricsCommand:
+    def test_prometheus_exposition(self, capsys):
+        code = main([
+            "metrics", "--app", "cmeans", "--size", "1000", "--nodes", "1",
+            "--iterations", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE prs_device_busy_seconds_total counter" in out
+        assert "prs_phase_seconds_total{" in out
+        assert 'prs_policy_blocks_dispatched_total{' in out
+        assert "prs_job_makespan_seconds" in out
+
+
+class TestTraceExport:
+    RUN = [
+        "trace", "export", "--app", "cmeans", "--size", "1000",
+        "--nodes", "2", "--iterations", "2",
+    ]
+
+    def test_chrome_export_with_check(self, capsys, tmp_path):
+        target = tmp_path / "out.trace.json"
+        assert main(self.RUN + ["--check", "--out", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "profile check passed" in out
+        import json
+
+        payload = json.loads(target.read_text())
+        assert payload["traceEvents"]
+
+    def test_jsonl_export(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "spans.jsonl"
+        assert main(
+            self.RUN + ["--format", "jsonl", "--out", str(target)]
+        ) == 0
+        lines = target.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line)["name"] for line in lines)
+
+    def test_stdout_export(self, capsys):
+        import json
+
+        assert main(self.RUN + ["--out", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["traceEvents"]
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+
 class TestPoliciesCommand:
     def test_lists_registered_policies(self, capsys):
         assert main(["policies"]) == 0
