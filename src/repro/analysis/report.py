@@ -111,6 +111,33 @@ def render_report(
             )
         )
 
+    # ---- recovery --------------------------------------------------------
+    if result.recovery is not None:
+        rec = result.recovery
+        rec_lines = ["fault tolerance:"]
+        if rec.clean:
+            rec_lines.append(
+                f"  injected        : {rec.faults_injected} fault(s); "
+                "no recovery action needed"
+            )
+        else:
+            rec_lines += [
+                f"  injected        : {rec.faults_injected} fault(s)",
+                f"  block failures  : {rec.block_failures} "
+                f"({rec.blocks_retried} blocks re-executed)",
+                f"  blacklisted     : {rec.devices_blacklisted} device(s), "
+                f"{rec.split_refits} Equation (8) refit(s)",
+                f"  rank restarts   : {rec.rank_restarts} "
+                f"(dead nodes: {list(rec.dead_nodes) or 'none'})",
+                f"  checkpoints     : {rec.checkpoints} taken",
+            ]
+        if rec.comm_timeouts or rec.retransmits:
+            rec_lines.append(
+                f"  comm            : {rec.comm_timeouts} timeout(s), "
+                f"{rec.retransmits} retransmit(s)"
+            )
+        sections.append("\n".join(rec_lines))
+
     # ---- devices ---------------------------------------------------------
     rows = []
     for device, stats in sorted(result.trace.summary().items()):

@@ -199,10 +199,13 @@ def _run_job(args: argparse.Namespace):
     cluster = _cluster_for(args.node, args.nodes)
     app = _build_app(args)
     policy = args.policy if args.policy is not None else args.scheduling
+    fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
     config = JobConfig(
         scheduling=policy,
         use_cpu=not args.gpu_only,
         use_gpu=not args.cpu_only,
+        faults=args.faults or None,
+        fault_seed=fault_seed,
     )
     result = PRSRuntime(cluster, config).run(app)
     return cluster, app, config, result
@@ -248,6 +251,13 @@ def cmd_run(args: argparse.Namespace) -> int:
             ],
             "device_summary": result.trace.summary(),
         }
+        if result.recovery is not None:
+            from dataclasses import asdict
+
+            payload["recovery"] = asdict(result.recovery)
+            payload["recovery"]["dead_nodes"] = list(
+                result.recovery.dead_nodes
+            )
         if profile_path is not None:
             payload["profile"] = profile_path
         print(json.dumps(payload, indent=2, sort_keys=True))
@@ -277,6 +287,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"throughput     : {result.gflops:.2f} GFLOP/s "
           f"({result.gflops_per_node(cluster.n_nodes):.2f}/node)")
     print(f"network        : {result.network_bytes / 1e6:.3f} MB shuffled")
+    if result.recovery is not None:
+        rec = result.recovery
+        status = "clean (no fault fired)" if rec.clean else "recovered"
+        print(f"faults         : {rec.faults_injected} injected; {status}")
+        if not rec.clean:
+            print(f"  block failures : {rec.block_failures} "
+                  f"({rec.blocks_retried} blocks retried)")
+            print(f"  blacklisted    : {rec.devices_blacklisted} devices, "
+                  f"{rec.split_refits} split refits")
+            print(f"  rank restarts  : {rec.rank_restarts} "
+                  f"(dead nodes: {list(rec.dead_nodes) or 'none'}, "
+                  f"{rec.checkpoints} checkpoints)")
     totals = result.phase_totals()
     if totals:
         print("phase breakdown (rank 0, summed over iterations):")
@@ -468,6 +490,14 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     group = parser.add_mutually_exclusive_group()
     group.add_argument("--gpu-only", action="store_true")
     group.add_argument("--cpu-only", action="store_true")
+    parser.add_argument("--faults", action="append", metavar="SPEC",
+                        help="inject a fault: kind@target:key=val,... "
+                             "(e.g. gpu_kill@0:t=0.01, rank_kill@2:t=5e-3, "
+                             "net_slow@*:t=0,until=0.02,factor=4); repeat "
+                             "for multiple faults — see docs/FAULTS.md")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        help="seed for sampling ranged (lo~hi) fault "
+                             "parameters (default: --seed)")
 
 
 def main(argv: Sequence[str] | None = None) -> int:

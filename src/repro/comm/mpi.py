@@ -38,6 +38,32 @@ from repro.simulate.trace import Trace
 #: Fallback size estimate for payloads we cannot introspect.
 _DEFAULT_OBJECT_BYTES = 64.0
 
+#: Reserved tag for the heartbeat/ack layer (outside app and collective tags).
+HEARTBEAT_TAG = -777
+
+
+class CommTimeout(RuntimeError):
+    """A ``recv`` with a timeout saw no matching message in time."""
+
+    def __init__(self, rank: int, source: int, tag: int, timeout: float) -> None:
+        self.rank = rank
+        self.source = source
+        self.tag = tag
+        self.timeout = timeout
+        super().__init__(
+            f"rank {rank}: recv from rank {source} tag {tag} timed out "
+            f"after {timeout:g}s"
+        )
+
+
+class EpochAborted(RuntimeError):
+    """The current epoch's global abort event fired (a rank was declared
+    dead); every blocked receive unwinds so the driver can restart."""
+
+    def __init__(self, cause: Any = None) -> None:
+        self.cause = cause
+        super().__init__(f"epoch aborted: {cause!r}")
+
 
 def payload_nbytes(obj: Any) -> float:
     """Wire-size estimate (bytes) of a message payload.
@@ -122,6 +148,40 @@ class World:
         #: aggregate message accounting for reports
         self.messages_sent = 0
         self.bytes_sent = 0.0
+        #: fault-tolerance wiring (None/absent in fault-free runs); set via
+        #: :meth:`attach_faults` by the driver.
+        self.faults = None
+        self.abort_event: Event | None = None
+        self.comm_timeout: float | None = None
+        #: live (dest_rank, src_rank, tag) -> count of blocked receives;
+        #: reported when the engine drains with a process still waiting,
+        #: turning a silent deadlock into a named one.
+        self._blocked: dict[tuple[int, int, int], int] = {}
+        engine.diagnostics.append(self._blocked_report)
+
+    def attach_faults(
+        self,
+        faults: Any,
+        abort_event: Event | None = None,
+        comm_timeout: float | None = None,
+    ) -> None:
+        """Wire fault injection into this world's message path."""
+        self.faults = faults
+        self.abort_event = abort_event
+        self.comm_timeout = comm_timeout
+        if faults is not None and self.contended:
+            for link in self._ingress.values():
+                link.time_scale = faults.net_scale
+
+    def _blocked_report(self) -> str | None:
+        pairs = sorted(key for key, n in self._blocked.items() if n > 0)
+        if not pairs:
+            return None
+        detail = ", ".join(
+            f"rank {dest} <- rank {src} (tag {tag})"
+            for dest, src, tag in pairs
+        )
+        return f"blocked recv with no matching sender: {detail}"
 
     def comm(self, rank: int) -> "RankComm":
         """The per-rank handle for *rank*."""
@@ -175,15 +235,41 @@ class RankComm:
             raise ValueError(f"dest {dest} out of range")
         nbytes = payload_nbytes(payload)
         start = self.engine.now
-        same_node = self.world.node_of(self.rank) == self.world.node_of(dest)
-        if not same_node:
-            if self.world.contended:
-                # Serialize on the destination's ingress NIC.
-                yield from self.world._ingress[dest].transfer(nbytes)
-            else:
-                delay = self.world.wire_time(self.rank, dest, nbytes)
-                if delay > 0:
-                    yield self.engine.timeout(delay)
+        world = self.world
+        faults = world.faults
+        src_node = world.node_of(self.rank)
+        dest_node = world.node_of(dest)
+        same_node = src_node == dest_node
+        while True:
+            if not same_node:
+                if world.contended:
+                    # Serialize on the destination's ingress NIC.
+                    yield from world._ingress[dest].transfer(nbytes)
+                else:
+                    delay = world.wire_time(self.rank, dest, nbytes)
+                    if faults is not None and delay > 0:
+                        delay *= faults.net_scale(self.engine.now)
+                    if delay > 0:
+                        yield self.engine.timeout(delay)
+            if (
+                faults is not None
+                and not same_node
+                and faults.consume_drop(src_node, dest_node, start)
+            ):
+                # The message was lost in flight: wait out the retransmit
+                # timer and pay the wire again.
+                if world.trace is not None:
+                    world.trace.metrics.counter(obs.COMM_RETRANSMITS).inc(
+                        1, src=f"r{self.rank}"
+                    )
+                yield self.engine.timeout(faults.policy.retransmit_timeout_s)
+                start = self.engine.now
+                continue
+            break
+        if faults is not None and not same_node:
+            extra = faults.msg_delay(src_node, dest_node, start)
+            if extra > 0:
+                yield self.engine.timeout(extra)
         if self.world.trace is not None:
             self.world.trace.record(
                 f"msg r{self.rank}->r{dest} t{tag}",
@@ -205,12 +291,70 @@ class RankComm:
         self.world.bytes_sent += nbytes
         self.world._mailbox(dest, self.rank, tag).put(payload)
 
-    def recv(self, source: int, tag: int = 0) -> Generator[Event, Any, Any]:
-        """Blocking receive of the next message from (*source*, *tag*)."""
+    def recv(
+        self, source: int, tag: int = 0, timeout: float | None = None
+    ) -> Generator[Event, Any, Any]:
+        """Blocking receive of the next message from (*source*, *tag*).
+
+        *timeout* (or, failing that, the world's configured
+        ``comm_timeout``) bounds the wait and raises :class:`CommTimeout`
+        on expiry; when the world carries a global abort event the wait
+        also unwinds with :class:`EpochAborted` as soon as it fires.  With
+        neither configured this is a plain blocking receive.
+        """
         if not 0 <= source < self.size:
             raise ValueError(f"source {source} out of range")
-        payload = yield self.world._mailbox(self.rank, source, tag).get()
-        return payload
+        world = self.world
+        box = world._mailbox(self.rank, source, tag)
+        abort = world.abort_event
+        wait_limit = timeout if timeout is not None else world.comm_timeout
+        key = (self.rank, source, tag)
+        world._blocked[key] = world._blocked.get(key, 0) + 1
+        try:
+            if abort is None and wait_limit is None:
+                get_evt = box.get()
+                try:
+                    payload = yield get_evt
+                except BaseException:
+                    if not get_evt.triggered:
+                        box.cancel(get_evt)
+                    raise
+                return payload
+            get_evt = box.get()
+            races: list[Event] = [get_evt]
+            timer: Event | None = None
+            if wait_limit is not None:
+                timer = self.engine.timeout(wait_limit)
+                races.append(timer)
+            if abort is not None:
+                races.append(abort)
+            try:
+                index, value = yield self.engine.any_of(races)
+            except BaseException:
+                if not get_evt.triggered:
+                    box.cancel(get_evt)
+                raise
+            if races[index] is get_evt:
+                return value
+            if get_evt.triggered:
+                # Message and timeout/abort landed at the same instant:
+                # the data wins (matches MPI, where a matched recv
+                # completes).
+                return get_evt.value
+            box.cancel(get_evt)
+            if timer is not None and races[index] is timer:
+                if world.trace is not None:
+                    world.trace.metrics.counter(obs.COMM_TIMEOUTS).inc(
+                        1, rank=f"r{self.rank}"
+                    )
+                raise CommTimeout(self.rank, source, tag, wait_limit)
+            raise EpochAborted(abort.value if abort is not None else None)
+        finally:
+            remaining = world._blocked.get(key, 1) - 1
+            if remaining > 0:
+                world._blocked[key] = remaining
+            else:
+                world._blocked.pop(key, None)
 
     # ------------------------------------------------------------------
     # Collectives (binomial trees rooted at *root*)
@@ -417,6 +561,49 @@ class RankComm:
     def barrier(self, tag: int = -7) -> Generator[Event, Any, None]:
         """All ranks synchronize (zero-byte allreduce)."""
         yield from self.allreduce(0, lambda a, b: 0, tag=tag)
+
+
+def heartbeat_sender(
+    comm: "RankComm", dests: list[int], interval: float
+) -> Generator[Event, Any, None]:
+    """Beat every *interval* seconds to each rank in *dests* until
+    interrupted (the owning worker kills it in its cleanup path)."""
+    from repro.simulate.engine import Interrupt
+
+    try:
+        while True:
+            yield comm.engine.timeout(interval)
+            for dest in dests:
+                yield from comm.send(
+                    ("hb", comm.rank), dest, HEARTBEAT_TAG
+                )
+                if comm.world.trace is not None:
+                    comm.world.trace.metrics.counter(obs.COMM_HEARTBEATS).inc(
+                        1, src=f"r{comm.rank}"
+                    )
+    except Interrupt:
+        return
+
+
+def heartbeat_monitor(
+    comm: "RankComm", source: int, timeout: float, abort_event: Event
+) -> Generator[Event, Any, None]:
+    """Consume heartbeats from *source*; on a missed window, fire the
+    epoch's global abort event (once) and exit."""
+    from repro.simulate.engine import Interrupt
+
+    try:
+        while True:
+            try:
+                yield from comm.recv(source, HEARTBEAT_TAG, timeout=timeout)
+            except CommTimeout:
+                if not abort_event.triggered:
+                    abort_event.succeed(("rank-silent", source))
+                return
+            except EpochAborted:
+                return
+    except Interrupt:
+        return
 
 
 def run_spmd(

@@ -24,7 +24,10 @@ from __future__ import annotations
 
 from repro.obs.metrics import (
     COMM_BYTES,
+    COMM_HEARTBEATS,
     COMM_MESSAGES,
+    COMM_RETRANSMITS,
+    COMM_TIMEOUTS,
     COUNT_BUCKETS,
     DEFAULT_BUCKETS,
     DEVICE_BUSY_SECONDS,
@@ -41,6 +44,13 @@ from repro.obs.metrics import (
     POLICY_QUEUE_DEPTH,
     POLICY_REFITS,
     POLICY_STEALS,
+    RECOVERY_BLOCK_FAILURES,
+    RECOVERY_BLOCKS_RETRIED,
+    RECOVERY_CHECKPOINTS,
+    RECOVERY_DEVICES_BLACKLISTED,
+    RECOVERY_FAULTS_INJECTED,
+    RECOVERY_RANK_RESTARTS,
+    RECOVERY_SPLIT_REFITS,
     REGION_BACKING_ALLOCS,
     REGION_BYTES_COPIED,
     REGION_BYTES_SERVED,
@@ -68,7 +78,10 @@ __all__ = [
     "check_profile",
     "phase_makespan_gap",
     "COMM_BYTES",
+    "COMM_HEARTBEATS",
     "COMM_MESSAGES",
+    "COMM_RETRANSMITS",
+    "COMM_TIMEOUTS",
     "COUNT_BUCKETS",
     "DEFAULT_BUCKETS",
     "DEVICE_BUSY_SECONDS",
@@ -85,6 +98,13 @@ __all__ = [
     "POLICY_QUEUE_DEPTH",
     "POLICY_REFITS",
     "POLICY_STEALS",
+    "RECOVERY_BLOCK_FAILURES",
+    "RECOVERY_BLOCKS_RETRIED",
+    "RECOVERY_CHECKPOINTS",
+    "RECOVERY_DEVICES_BLACKLISTED",
+    "RECOVERY_FAULTS_INJECTED",
+    "RECOVERY_RANK_RESTARTS",
+    "RECOVERY_SPLIT_REFITS",
     "REGION_BACKING_ALLOCS",
     "REGION_BYTES_COPIED",
     "REGION_BYTES_SERVED",

@@ -54,7 +54,17 @@ REGION_RESETS = "prs_region_resets_total"
 REGION_CAPACITY_BYTES = "prs_region_capacity_bytes"
 COMM_MESSAGES = "prs_comm_messages_total"
 COMM_BYTES = "prs_comm_bytes_total"
+COMM_TIMEOUTS = "prs_comm_timeouts_total"
+COMM_RETRANSMITS = "prs_comm_retransmits_total"
+COMM_HEARTBEATS = "prs_comm_heartbeats_total"
 SHUFFLE_PAIRS = "prs_shuffle_pairs_total"
+RECOVERY_FAULTS_INJECTED = "prs_recovery_faults_injected_total"
+RECOVERY_BLOCK_FAILURES = "prs_recovery_block_failures_total"
+RECOVERY_BLOCKS_RETRIED = "prs_recovery_blocks_retried_total"
+RECOVERY_DEVICES_BLACKLISTED = "prs_recovery_devices_blacklisted_total"
+RECOVERY_SPLIT_REFITS = "prs_recovery_split_refits_total"
+RECOVERY_CHECKPOINTS = "prs_recovery_checkpoints_total"
+RECOVERY_RANK_RESTARTS = "prs_recovery_rank_restarts_total"
 JOB_MAKESPAN_SECONDS = "prs_job_makespan_seconds"
 JOB_ITERATIONS = "prs_job_iterations"
 

@@ -230,3 +230,23 @@ class IterativeMapReduceApp(MapReduceApp):
         from repro.comm.mpi import payload_nbytes
 
         return payload_nbytes(self.iteration_state())
+
+    # -- fault-tolerant restart (docs/FAULTS.md) -----------------------
+    def checkpoint(self) -> Any:
+        """Snapshot of the mutable loop state for restart-from-checkpoint.
+
+        The default deep-copies the instance ``__dict__``, which is
+        sufficient for the bundled apps (their RNG is consumed only in
+        ``__init__``); apps holding unsnapshottable resources should
+        override this and :meth:`restore` together.
+        """
+        import copy
+
+        return copy.deepcopy(self.__dict__)
+
+    def restore(self, state: Any) -> None:
+        """Reset the app to a :meth:`checkpoint` snapshot."""
+        import copy
+
+        self.__dict__.clear()
+        self.__dict__.update(copy.deepcopy(state))

@@ -33,7 +33,8 @@ from repro.runtime.api import Block, MapReduceApp
 from repro.runtime.job import JobConfig, Overheads
 from repro.runtime.memory import MALLOC_OVERHEAD_S, RegionAllocator
 from repro.runtime.shuffle import KeyValue
-from repro.simulate.engine import Engine, Event
+from repro.simulate.engine import Engine, Event, Interrupt
+from repro.simulate.faults import DeviceFault
 from repro.simulate.resources import CorePool
 from repro.simulate.streams import GpuStreamEngine, StreamBlock
 from repro.simulate.trace import Trace
@@ -56,6 +57,66 @@ class NodeResources:
         ]
         #: per-daemon-thread regions (§III.C.2); reset between stages
         self.allocator = RegionAllocator()
+        #: live fault state (a :class:`repro.simulate.faults.FaultState`)
+        #: when the job injects faults; None keeps every code path on the
+        #: exact fault-free schedule.
+        self.faults = None
+        #: physical node index this resource set represents (stable across
+        #: rank-restart incarnations)
+        self.node_index = -1
+
+
+def _deliver(sink: Any, block: Block, pairs: list[KeyValue]) -> None:
+    """Hand a finished block's pairs to the sink.
+
+    Sinks that define ``record_block`` (the scheduler's block-ordered
+    sink) receive the block identity too, so emission order can be
+    canonicalized regardless of which device finished first.
+    """
+    record = getattr(sink, "record_block", None)
+    if record is not None:
+        record(block, pairs)
+    else:
+        sink.extend(pairs)
+
+
+def _guarded_body(
+    daemon: Any, block: Block, sink: Any
+) -> Generator[Event, Any, Any]:
+    """Run one map block, converting a fault Interrupt into a return value
+    (so resource cleanup runs and the parent can report the failure)."""
+    try:
+        yield from daemon._map_block(block, sink)
+        return None
+    except Interrupt as intr:
+        cause = intr.cause
+        if not isinstance(cause, DeviceFault):
+            cause = DeviceFault(daemon.device_name, "kill")
+        return cause
+
+
+def _run_guarded(
+    daemon: Any, block: Block, sink: Any
+) -> Generator[Event, Any, None]:
+    """Fault-aware wrapper: race the block against the device's disruption
+    event; on a fault, interrupt the in-flight work and report the failed
+    block to the scheduler instead of losing it."""
+    faults = daemon.res.faults
+    engine = daemon.res.engine
+    key = daemon.fault_key
+    if faults.device_dead(key):
+        daemon._report_failure(block, fatal=True)
+        return
+    death = faults.disruption(key)
+    work = engine.process(
+        _guarded_body(daemon, block, sink), name=f"{daemon.device_name}.blk"
+    )
+    yield engine.any_of([work, death])
+    if work.is_alive:
+        work.interrupt(death.value)
+    outcome = yield work
+    if outcome is not None:
+        daemon._report_failure(block, fatal=faults.device_dead(key))
 
 
 def _alloc_seconds(
@@ -98,6 +159,14 @@ class CpuDaemon:
         self.overheads = config.overheads
         self.trace = trace
         self.device_name = f"{resources.node.name}.cpu"
+        #: fault-state device key + scheduler failure callback, wired by
+        #: ``SubTaskScheduler.enable_faults`` (None in fault-free runs)
+        self.fault_key: str | None = None
+        self.fault_listener = None
+
+    def _report_failure(self, block: Block, fatal: bool) -> None:
+        if self.fault_listener is not None:
+            self.fault_listener(self, block, fatal)
 
     # ------------------------------------------------------------------
     def block_seconds(self, block: Block) -> float:
@@ -115,8 +184,16 @@ class CpuDaemon:
         self, block: Block, sink: list[KeyValue]
     ) -> Generator[Event, Any, None]:
         """Process fragment: one map sub-task on one core."""
+        if self.res.faults is None:
+            yield from self._map_block(block, sink)
+        else:
+            yield from _run_guarded(self, block, sink)
+
+    def _map_block(
+        self, block: Block, sink: list[KeyValue]
+    ) -> Generator[Event, Any, None]:
         engine = self.res.engine
-        yield self.res.cpu_pool.request()
+        yield from self.res.cpu_pool.acquire()
         try:
             start = engine.now
             pairs = self.app.cpu_map(block)
@@ -130,8 +207,11 @@ class CpuDaemon:
                     self.config.use_region_allocator,
                 )
             )
+            faults = self.res.faults
+            if faults is not None:
+                duration *= faults.compute_scale(self.fault_key, start)
             yield engine.timeout(duration)
-            sink.extend(pairs)
+            _deliver(sink, block, pairs)
             self.trace.record(
                 f"map[{block.start}:{block.stop}]",
                 self.device_name,
@@ -164,7 +244,7 @@ class CpuDaemon:
         engine = self.res.engine
 
         def one(key: Any, values: list[Any]) -> Generator[Event, Any, None]:
-            yield self.res.cpu_pool.request()
+            yield from self.res.cpu_pool.acquire()
             try:
                 start = engine.now
                 flops = self.app.reduce_flops(key, values)
@@ -216,6 +296,10 @@ class GpuDaemon:
         self.overheads = config.overheads
         self.trace = trace
         self.device_name = self.stream_engine.name
+        #: fault-state device key + scheduler failure callback, wired by
+        #: ``SubTaskScheduler.enable_faults`` (None in fault-free runs)
+        self.fault_key: str | None = None
+        self.fault_listener = None
         #: item spans already resident in GPU memory (loop-invariant cache)
         self._cached_blocks: set[tuple[int, int]] = set()
         #: bytes currently held by the loop-invariant cache
@@ -260,10 +344,22 @@ class GpuDaemon:
             kernel_seconds=self.kernel_seconds(block),
         )
 
+    def _report_failure(self, block: Block, fatal: bool) -> None:
+        if self.fault_listener is not None:
+            self.fault_listener(self, block, fatal)
+
     def run_map_block(
         self, block: Block, sink: list[KeyValue]
     ) -> Generator[Event, Any, None]:
         """Process fragment: one map sub-task as one GPU stream."""
+        if self.res.faults is None:
+            yield from self._map_block(block, sink)
+        else:
+            yield from _run_guarded(self, block, sink)
+
+    def _map_block(
+        self, block: Block, sink: list[KeyValue]
+    ) -> Generator[Event, Any, None]:
         engine = self.res.engine
         if not self.config.single_gpu_context:
             # §III.C.3's anti-pattern: the task creates its own GPU
@@ -272,8 +368,19 @@ class GpuDaemon:
                 yield engine.timeout(self.overheads.gpu_context_s)
         if self.overheads.gpu_task_dispatch_s > 0:
             yield engine.timeout(self.overheads.gpu_task_dispatch_s)
+        stream_block = self._stream_block(block)
+        faults = self.res.faults
+        if faults is not None:
+            scale = faults.compute_scale(self.fault_key, engine.now)
+            if scale != 1.0 and stream_block.kernel_seconds is not None:
+                stream_block = StreamBlock(
+                    in_bytes=stream_block.in_bytes,
+                    flops=stream_block.flops,
+                    out_bytes=stream_block.out_bytes,
+                    kernel_seconds=stream_block.kernel_seconds * scale,
+                )
         yield from self.stream_engine.run_block(
-            self._stream_block(block),
+            stream_block,
             trace=self.trace,
             label=f"map[{block.start}:{block.stop}]",
         )
@@ -300,7 +407,7 @@ class GpuDaemon:
         )
         if alloc > 0:
             yield engine.timeout(alloc)
-        sink.extend(pairs)
+        _deliver(sink, block, pairs)
 
     def run_map_blocks(
         self,
@@ -322,7 +429,7 @@ class GpuDaemon:
             gate = Resource(engine, capacity=n_streams, name="stream-gate")
 
             def gated(block: Block) -> Generator[Event, Any, None]:
-                yield gate.request()
+                yield from gate.acquire()
                 try:
                     yield from self.run_map_block(block, sink)
                 finally:

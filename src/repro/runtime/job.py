@@ -22,10 +22,12 @@ from repro._validation import (
 from typing import TYPE_CHECKING
 
 from repro.core.analytic import SplitDecision
+from repro.runtime.recovery import FaultPolicy, RecoverySummary
 from repro.simulate.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.iterative import IterationLog
+    from repro.simulate.faults import FaultPlan
 
 
 class Scheduling(enum.Enum):
@@ -128,6 +130,14 @@ class JobConfig:
     contended_network: bool = False
     #: fixed runtime overheads charged by the simulator
     overheads: Overheads = field(default_factory=Overheads)
+    #: fault injection plan: a :class:`repro.simulate.faults.FaultPlan`,
+    #: a spec string/dict, or a list of them; ``None`` disables fault
+    #: machinery entirely (the zero-fault path stays bit-identical)
+    faults: Any = None
+    #: retry/backoff/blacklist/heartbeat/checkpoint knobs for recovery
+    fault_policy: FaultPolicy = field(default_factory=FaultPolicy)
+    #: seed for sampling ranged fault parameters (``lo~hi``)
+    fault_seed: int = 0
 
     def __post_init__(self) -> None:
         require_positive_int("gpus_per_node", self.gpus_per_node)
@@ -140,6 +150,16 @@ class JobConfig:
             require_fraction("force_cpu_fraction", self.force_cpu_fraction)
         if not (self.use_cpu or self.use_gpu):
             raise ValueError("at least one of use_cpu/use_gpu must be set")
+        require_nonnegative("fault_seed", self.fault_seed)
+        if self.faults is not None:
+            # Normalize spec strings/dicts into a FaultPlan now so config
+            # errors surface at construction, not mid-job.  Deferred
+            # import: simulate.faults is a leaf, but keep job.py light.
+            from repro.simulate.faults import FaultPlan
+
+            object.__setattr__(
+                self, "faults", FaultPlan.coerce(self.faults, seed=self.fault_seed)
+            )
         # Validate the policy name against the registry (import deferred:
         # the policies package imports runtime modules that import us).
         from repro.runtime.policies import get_policy
@@ -186,6 +206,9 @@ class JobResult:
     #: analytic ``p`` for static, the last feedback-derived ``p`` for
     #: adaptive-feedback; ``None`` for pure polling policies)
     final_cpu_fractions: list = field(default_factory=list)
+    #: fault-injection/recovery accounting (``None`` when the job ran
+    #: without a fault plan)
+    recovery: RecoverySummary | None = None
 
     def phase_breakdown(self, rank: int = 0) -> dict[int, dict[str, float]]:
         """Per-iteration ``{phase: seconds}`` on *rank* (see

@@ -66,6 +66,13 @@ class PhaseContext:
     final_output: dict[Any, Any]
     iteration_log: IterationLog
     iterations_done: list[int]
+    #: physical node index for trace tracks — stable across rank-restart
+    #: incarnations (``rank`` is the comm rank, which is re-densified
+    #: over survivors after a restart); equals ``rank`` by default
+    trace_rank: int = -1
+    #: driver-owned checkpoint store (``RecoveryState``) for iterative
+    #: restart; None when no faults are configured
+    recovery: Any = None
 
     # -- per-iteration dataflow ----------------------------------------
     my_parts: list[Block] = field(default_factory=list)
@@ -77,6 +84,10 @@ class PhaseContext:
     local_out: dict[Any, Any] = field(default_factory=dict)
     gathered: list[dict[Any, Any]] | None = None
     stop: bool = True
+
+    def __post_init__(self) -> None:
+        if self.trace_rank < 0:
+            self.trace_rank = self.comm.rank
 
     @property
     def rank(self) -> int:
@@ -98,12 +109,16 @@ class Phase(abc.ABC):
 
     def run(self, ctx: PhaseContext) -> Generator[Event, Any, None]:
         span = ctx.trace.begin_phase(
-            self.name, ctx.rank, self.iteration_index(ctx), ctx.engine.now
+            self.name, ctx.trace_rank, self.iteration_index(ctx), ctx.engine.now
         )
-        gen = self.body(ctx)
-        if gen is not None:
-            yield from gen
-        ctx.trace.end_phase(span, ctx.engine.now)
+        try:
+            gen = self.body(ctx)
+            if gen is not None:
+                yield from gen
+        finally:
+            # Close the span even when the rank dies or the epoch aborts
+            # mid-phase, so the trace hierarchy stays consistent.
+            ctx.trace.end_phase(span, ctx.engine.now)
 
     @abc.abstractmethod
     def body(self, ctx: PhaseContext) -> Generator[Event, Any, None] | None:
@@ -266,6 +281,15 @@ class ConvergencePhase(Phase):
             )
             ctx.iterations_done[0] = ctx.iteration + 1
             ctx.trace.metrics.counter(obs.ITERATIONS).inc()
+            if (
+                ctx.iterative
+                and ctx.recovery is not None
+                and (ctx.iteration + 1) % ctx.recovery.interval == 0
+            ):
+                # Snapshot the loop state so a failed rank can restart
+                # from here instead of iteration 0.
+                ctx.recovery.save(ctx.iteration + 1, ctx.app.checkpoint())
+                ctx.trace.metrics.counter(obs.RECOVERY_CHECKPOINTS).inc()
         # Feedback point: the node's policy may refit its split from the
         # observed metrics before the next iteration.
         ctx.sched.policy.on_iteration_end(ctx.iteration)

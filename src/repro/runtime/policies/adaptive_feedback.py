@@ -46,7 +46,10 @@ class AdaptiveFeedbackPolicy(StaticPolicy):
 
     # ------------------------------------------------------------------
     def _weights(self) -> list[float]:
-        return self.sched.device_weights(p_override=self._p)
+        # Nominal alignment (see StaticPolicy._weights): the feedback
+        # fraction replaces p, but the chop still spans every configured
+        # device so boundaries only move when the feedback moves them.
+        return self.sched.device_weights(p_override=self._p, nominal=True)
 
     def effective_cpu_fraction(self) -> float | None:
         if self._p is not None:
@@ -71,16 +74,19 @@ class AdaptiveFeedbackPolicy(StaticPolicy):
 
     def on_iteration_end(self, iteration: int) -> None:
         sched = self.sched
-        if sched.cpu_daemon is None or not sched.gpu_daemons:
-            return  # single device class: nothing to split
+        cpu_daemon = sched.active_cpu_daemon
+        gpu_daemons = sched.active_gpu_daemons
+        if cpu_daemon is None or not gpu_daemons:
+            return  # single (surviving) device class: nothing to split
         decision = sched.split_decision
-        assert decision is not None
+        if decision is None:
+            return
         node = sched.res.node
 
-        cpu_flops, cpu_busy = self._window(sched.cpu_daemon.device_name)
+        cpu_flops, cpu_busy = self._window(cpu_daemon.device_name)
         gpu_flops = 0.0
         gpu_busy = 0.0
-        for daemon in sched.gpu_daemons:
+        for daemon in gpu_daemons:
             flops, busy = self._window(daemon.device_name)
             gpu_flops += flops
             gpu_busy += busy

@@ -35,6 +35,10 @@ def dynamic_block_count(sched: "SubTaskScheduler", partition: Block) -> int:
     plus ``work_queues + 1`` in-flight blocks per GPU — capped so no block
     falls below ``MinBs`` of Equation (11) (an unsaturable device imposes
     no cap; Equation (11) then has no solution).
+
+    Always derived from the NOMINAL device set, even when some devices
+    are dead: block boundaries must be fault-invariant so a faulted run's
+    reduce input stays bitwise identical to the fault-free run.
     """
     config = sched.config
     if config.dynamic_blocks is not None:
@@ -89,33 +93,40 @@ class DynamicPolicy(SchedulingPolicy):
         # drives must be bound at definition time (default argument), not
         # via the enclosing scope, or a later loop variable would rebind it.
         def cpu_poller(d: CpuDaemon) -> Generator[Event, Any, None]:
-            while queue:
+            while queue and sched.daemon_active(d):
                 depth.observe(len(queue), policy=self.name)
                 block = queue.popleft()
                 self.count_dispatch(d.device_name)
                 yield from d.run_map_block(block, sink)
 
         def gpu_poller(d: GpuDaemon) -> Generator[Event, Any, None]:
-            while queue:
+            while queue and sched.daemon_active(d):
                 depth.observe(len(queue), policy=self.name)
                 block = queue.popleft()
                 self.count_dispatch(d.device_name)
                 yield from d.run_map_block(block, sink)
 
         procs = []
-        if sched.cpu_daemon is not None:
+        cpu_daemon = sched.active_cpu_daemon
+        if cpu_daemon is not None:
             # One poller per core: each holds one core at a time, so the
             # pool stays saturated while work remains.
             for _ in range(sched.res.node.cpu.cores):
                 procs.append(
-                    engine.process(cpu_poller(sched.cpu_daemon), name="cpu-poll")
+                    engine.process(cpu_poller(cpu_daemon), name="cpu-poll")
                 )
-        for gpu_daemon in sched.gpu_daemons:
+        for gpu_daemon in sched.active_gpu_daemons:
             procs.append(
                 engine.process(gpu_poller(gpu_daemon), name="gpu-poll")
             )
 
         yield engine.all_of(procs)
+        if queue:
+            # Every surviving poller exited with work left (its device
+            # died mid-drain): route the leftovers through recovery.
+            for block in queue:
+                sched.note_undispatched(block)
+            queue.clear()
 
     def effective_cpu_fraction(self) -> float | None:
         return None  # pure polling: no pre-split fraction

@@ -60,29 +60,36 @@ class LocalityDynamicPolicy(SchedulingPolicy):
             return queue.pop(0)
 
         def cpu_poller(d: CpuDaemon) -> Generator[Event, Any, None]:
-            while queue:
+            while queue and sched.daemon_active(d):
                 block = pop_for_cpu(d)
                 self.count_dispatch(d.device_name)
                 yield from d.run_map_block(block, sink)
 
         def gpu_poller(d: GpuDaemon) -> Generator[Event, Any, None]:
-            while queue:
+            while queue and sched.daemon_active(d):
                 block = pop_for_gpu(d)
                 self.count_dispatch(d.device_name)
                 yield from d.run_map_block(block, sink)
 
         procs = []
-        if sched.cpu_daemon is not None:
+        cpu_daemon = sched.active_cpu_daemon
+        if cpu_daemon is not None:
             for _ in range(sched.res.node.cpu.cores):
                 procs.append(
-                    engine.process(cpu_poller(sched.cpu_daemon), name="cpu-poll")
+                    engine.process(cpu_poller(cpu_daemon), name="cpu-poll")
                 )
-        for gpu_daemon in gpu_daemons:
+        for gpu_daemon in sched.active_gpu_daemons:
             procs.append(
                 engine.process(gpu_poller(gpu_daemon), name="gpu-poll")
             )
 
         yield engine.all_of(procs)
+        if queue:
+            # Surviving pollers drained out with work left (devices died
+            # mid-partition): hand the leftovers to recovery.
+            for block in queue:
+                sched.note_undispatched(block)
+            queue.clear()
 
     def effective_cpu_fraction(self) -> float | None:
         return None  # pure polling: no pre-split fraction

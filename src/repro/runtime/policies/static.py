@@ -26,8 +26,18 @@ class StaticPolicy(SchedulingPolicy):
     name = "static"
 
     def _weights(self) -> list[float]:
-        """Per-device work fractions; adaptive subclasses override."""
-        return self.sched.device_weights()
+        """Per-device work fractions over the NOMINAL device set (aligned
+        with ``[cpu?] + gpu_daemons``); adaptive subclasses override the
+        fraction but must keep the alignment.
+
+        The chop is deliberately fault-invariant: a dead device still gets
+        its nominal share of the boundaries, and its blocks are routed
+        through the scheduler's recovery path instead.  Re-executing the
+        *same* blocks elsewhere keeps the canonicalized pair stream — and
+        the job's float reductions — bitwise identical to the fault-free
+        run (docs/FAULTS.md).
+        """
+        return self.sched.device_weights(nominal=True)
 
     def run_map_partition(
         self, partition: Block, sink: list[KeyValue]
@@ -35,13 +45,19 @@ class StaticPolicy(SchedulingPolicy):
         sched = self.sched
         engine = sched.res.engine
         weights = self._weights()
+        if not weights:
+            # No devices configured at all (cannot happen: the scheduler
+            # refuses to construct) — defensive hand-off to recovery.
+            sched.note_undispatched(partition)
+            return
         ranges = weighted_partition(partition.n_items, weights)
         sub_parts = [
             Block(partition.start + lo, partition.start + hi) for lo, hi in ranges
         ]
         procs = []
         idx = 0
-        if sched.cpu_daemon is not None:
+        cpu_daemon = sched.cpu_daemon
+        if cpu_daemon is not None:
             cpu_part = sub_parts[idx]
             idx += 1
             if cpu_part.n_items > 0:
@@ -49,12 +65,16 @@ class StaticPolicy(SchedulingPolicy):
                     sched.res.node.cpu.cores, sched.config.cpu_block_multiplier
                 )
                 blocks = cpu_part.split(min(n_blocks, cpu_part.n_items))
-                self.count_dispatch(sched.cpu_daemon.device_name, len(blocks))
-                procs.append(
-                    engine.process(
-                        sched.cpu_daemon.run_map_blocks(blocks, sink), name="cpu-d"
+                if sched.daemon_active(cpu_daemon):
+                    self.count_dispatch(cpu_daemon.device_name, len(blocks))
+                    procs.append(
+                        engine.process(
+                            cpu_daemon.run_map_blocks(blocks, sink), name="cpu-d"
+                        )
                     )
-                )
+                else:
+                    for block in blocks:
+                        sched.note_undispatched(block)
         for daemon in sched.gpu_daemons:
             gpu_part = sub_parts[idx]
             idx += 1
@@ -69,12 +89,16 @@ class StaticPolicy(SchedulingPolicy):
                 overlap_threshold=sched.config.overlap_threshold,
             )
             blocks = gpu_part.split(min(plan.gpu_blocks, gpu_part.n_items))
-            self.count_dispatch(daemon.device_name, len(blocks))
-            n_streams = plan.gpu_blocks if plan.use_streams else 1
-            procs.append(
-                engine.process(
-                    daemon.run_map_blocks(blocks, sink, n_streams=n_streams),
-                    name="gpu-d",
+            if sched.daemon_active(daemon):
+                self.count_dispatch(daemon.device_name, len(blocks))
+                n_streams = plan.gpu_blocks if plan.use_streams else 1
+                procs.append(
+                    engine.process(
+                        daemon.run_map_blocks(blocks, sink, n_streams=n_streams),
+                        name="gpu-d",
+                    )
                 )
-            )
+            else:
+                for block in blocks:
+                    sched.note_undispatched(block)
         yield engine.all_of(procs)

@@ -29,7 +29,15 @@ from typing import Any, Generator
 
 from repro import obs
 from repro._validation import require_positive_int
-from repro.comm.mpi import RankComm, World, run_spmd
+from repro.comm.mpi import (
+    CommTimeout,
+    EpochAborted,
+    RankComm,
+    World,
+    heartbeat_monitor,
+    heartbeat_sender,
+    run_spmd,
+)
 from repro.core.analytic import node_partition_weights
 from repro.hardware.cluster import Cluster
 from repro.runtime.api import Block, IterativeMapReduceApp, MapReduceApp
@@ -38,8 +46,15 @@ from repro.runtime.iterative import IterationLog
 from repro.runtime.job import JobConfig, JobResult
 from repro.runtime.partition import weighted_partition
 from repro.runtime.phases import ITERATION_PHASES, PhaseContext, SetupPhase
+from repro.runtime.recovery import (
+    JobAbortedError,
+    NodeDeadError,
+    RecoveryState,
+    RecoverySummary,
+)
 from repro.runtime.scheduler import SubTaskScheduler
-from repro.simulate.engine import Engine, Event
+from repro.simulate.engine import Engine, Event, Interrupt
+from repro.simulate.faults import FaultState
 from repro.simulate.trace import Trace
 
 
@@ -52,7 +67,16 @@ class PRSRuntime:
 
     # ------------------------------------------------------------------
     def run(self, app: MapReduceApp) -> JobResult:
-        """Execute *app* to completion; returns outputs plus timing."""
+        """Execute *app* to completion; returns outputs plus timing.
+
+        With a non-empty ``config.faults`` plan the job runs through the
+        fault-tolerant driver (:meth:`_run_with_faults`); otherwise it
+        takes the original path, which creates exactly the same event
+        schedule as before fault tolerance existed (bit-identical traces).
+        """
+        plan = self.config.faults
+        if plan is not None and plan:
+            return self._run_with_faults(app, plan)
         engine = Engine()
         trace = Trace()
         cluster = self.cluster
@@ -146,9 +170,324 @@ class PRSRuntime:
         )
 
     # ------------------------------------------------------------------
-    def _partition_input(self, app: MapReduceApp) -> list[list[Block]]:
-        """Level-1 partitioning: node shares, then partitions per node."""
+    def _run_with_faults(self, app: MapReduceApp, plan: Any) -> JobResult:
+        """Fault-tolerant driver: the job runs as a sequence of epochs
+        ("incarnations") over the surviving nodes of one shared engine.
+
+        Device faults are absorbed *inside* an epoch by the sub-task
+        schedulers (retry/backoff/blacklist, see
+        :mod:`repro.runtime.scheduler`); a rank failure aborts the epoch —
+        detected by the heartbeat layer or reported by the dying worker —
+        after which the driver shrinks the communicator to the survivors,
+        restores the last checkpoint for iterative apps, and replays from
+        there (docs/FAULTS.md).  The engine clock is continuous across
+        epochs, so the final makespan includes every recovery cost.
+        """
+        engine = Engine()
+        trace = Trace()
         cluster = self.cluster
+        config = self.config
+        policy = config.fault_policy
+        faults = FaultState(engine, plan, trace, policy)
+        faults.start()
+
+        iterative = isinstance(app, IterativeMapReduceApp)
+        max_iterations = app.max_iterations if iterative else 1
+        recovery_state = RecoveryState(interval=policy.checkpoint_interval)
+        if iterative:
+            # Iteration-0 snapshot, so a failure before the first periodic
+            # checkpoint still restarts from a well-defined state.
+            recovery_state.state = app.checkpoint()
+
+        final_output: dict[Any, Any] = {}
+        iteration_log = IterationLog()
+        iterations_done = [0]
+        restarts = 0
+        network_bytes = 0.0
+        schedulers: list[SubTaskScheduler] = []
+        all_splits: list[Any] = []
+
+        while True:
+            surviving = [
+                n for n in range(cluster.n_nodes) if n not in faults.dead_nodes
+            ]
+            if not surviving:
+                raise JobAbortedError("every node in the cluster has failed")
+            dead_at_start = set(faults.dead_nodes)
+            sub_cluster = (
+                cluster
+                if len(surviving) == cluster.n_nodes
+                else Cluster(
+                    cluster.name,
+                    tuple(cluster.nodes[n] for n in surviving),
+                    cluster.network,
+                )
+            )
+            world = World(
+                engine,
+                len(surviving),
+                network=cluster.network,
+                node_of=lambda r, s=tuple(surviving): s[r],
+                trace=trace,
+                contended=config.contended_network,
+            )
+            abort_event = engine.event()
+            world.attach_faults(
+                faults,
+                abort_event=abort_event,
+                comm_timeout=policy.comm_timeout_s,
+            )
+
+            resources = [
+                NodeResources(engine, cluster.nodes[n], config.gpus_per_node)
+                for n in surviving
+            ]
+            schedulers = [
+                SubTaskScheduler(res, app, config, trace) for res in resources
+            ]
+            for rank, (node_idx, sched) in enumerate(
+                zip(surviving, schedulers)
+            ):
+                sched.enable_faults(faults, node_idx)
+                # Trace tracks follow the physical node, not the (shrunk)
+                # comm rank, so a node keeps one track across epochs.
+                if sched.cpu_daemon is not None:
+                    trace.bind_device(sched.cpu_daemon.device_name, node_idx)
+                for daemon in sched.gpu_daemons:
+                    trace.bind_device(daemon.device_name, node_idx)
+                trace.bind_device(f"net.r{rank}", node_idx)
+            all_splits.extend(
+                s.split_decision
+                for s in schedulers
+                if s.split_decision is not None
+            )
+
+            node_partitions = self._partition_input(app, sub_cluster)
+            start_iteration = recovery_state.iteration if iterative else 0
+
+            def worker(comm: RankComm) -> Generator[Event, Any, Any]:
+                rank = comm.rank
+                node_idx = surviving[rank]
+                ctx = PhaseContext(
+                    engine=engine,
+                    world=world,
+                    comm=comm,
+                    sched=schedulers[rank],
+                    resources=resources[rank],
+                    app=app,
+                    config=config,
+                    trace=trace,
+                    iterative=iterative,
+                    max_iterations=max_iterations,
+                    node_partitions=node_partitions,
+                    final_output=final_output,
+                    iteration_log=iteration_log,
+                    iterations_done=iterations_done,
+                    trace_rank=node_idx,
+                    recovery=recovery_state if iterative else None,
+                )
+                ctx.iteration = start_iteration
+                try:
+                    yield from SetupPhase().run(ctx)
+                    pipeline = [phase_cls() for phase_cls in ITERATION_PHASES]
+                    while True:
+                        ctx.iter_start = engine.now
+                        ctx.net_before = world.bytes_sent
+                        for phase in pipeline:
+                            yield from phase.run(ctx)
+                        if ctx.stop or not iterative:
+                            break
+                        ctx.iteration += 1
+                    return ("done", node_idx, engine.now)
+                except Interrupt:
+                    # rank_kill landed on this worker
+                    return ("killed", node_idx, engine.now)
+                except EpochAborted:
+                    return ("aborted", node_idx, engine.now)
+                except CommTimeout as exc:
+                    # The peer we waited on is presumed dead.
+                    if not abort_event.triggered:
+                        abort_event.succeed(("rank-silent", exc.source))
+                    return ("timeout", node_idx, engine.now)
+                except NodeDeadError:
+                    if not abort_event.triggered:
+                        abort_event.succeed(("node-dead", node_idx))
+                    return ("node-dead", node_idx, engine.now)
+                except JobAbortedError as exc:
+                    if not abort_event.triggered:
+                        abort_event.succeed(("job-aborted", node_idx))
+                    return ("job-aborted", node_idx, str(exc))
+
+            faults.reset_rank_procs()
+            procs = []
+            for rank in range(world.size):
+                proc = engine.process(
+                    worker(world.comm(rank)), name=f"rank{rank}"
+                )
+                faults.register_rank_proc(surviving[rank], proc)
+                procs.append(proc)
+
+            # Heartbeat layer: workers beat to the master, the master beats
+            # back, and monitors declare a silent peer dead by firing the
+            # epoch abort.  Driver-owned (not worker children) so detection
+            # outlives an individually finished worker — otherwise a rank
+            # blocked on a dead peer's relay could hang with no detector
+            # left alive.
+            hb_procs = []
+            if policy.rank_recovery and world.size > 1:
+                interval = policy.heartbeat_interval_s
+                hb_timeout = interval * policy.heartbeat_miss_factor
+                for rank in range(world.size):
+                    comm = world.comm(rank)
+                    if rank == 0:
+                        peers = list(range(1, world.size))
+                        hb_procs.append(
+                            (
+                                surviving[0],
+                                engine.process(
+                                    heartbeat_sender(comm, peers, interval),
+                                    name="hb-send.r0",
+                                ),
+                            )
+                        )
+                        for src in peers:
+                            hb_procs.append(
+                                (
+                                    surviving[0],
+                                    engine.process(
+                                        heartbeat_monitor(
+                                            comm, src, hb_timeout, abort_event
+                                        ),
+                                        name=f"hb-mon.r0.{src}",
+                                    ),
+                                )
+                            )
+                    else:
+                        hb_procs.append(
+                            (
+                                surviving[rank],
+                                engine.process(
+                                    heartbeat_sender(comm, [0], interval),
+                                    name=f"hb-send.r{rank}",
+                                ),
+                            )
+                        )
+                        hb_procs.append(
+                            (
+                                surviving[rank],
+                                engine.process(
+                                    heartbeat_monitor(
+                                        comm, 0, hb_timeout, abort_event
+                                    ),
+                                    name=f"hb-mon.r{rank}.0",
+                                ),
+                            )
+                        )
+                for node_idx, proc in hb_procs:
+                    faults.register_rank_proc(node_idx, proc)
+
+            exits = engine.run(engine.all_of(procs))
+            for _, proc in hb_procs:
+                if proc.is_alive:
+                    proc.interrupt("epoch over")
+            network_bytes += world.bytes_sent
+
+            aborted = [e for e in exits if e is not None and e[0] == "job-aborted"]
+            if aborted:
+                raise JobAbortedError(aborted[0][2])
+            for exit_ in exits:
+                if exit_ is not None and exit_[0] == "node-dead":
+                    faults.dead_nodes.add(exit_[1])
+            cause = abort_event.value if abort_event.triggered else None
+            if isinstance(cause, tuple) and cause[0] == "rank-silent":
+                faults.dead_nodes.add(surviving[cause[1]])
+
+            if exits and exits[0] is not None and exits[0][0] == "done":
+                break  # the master completed the job: output is final
+
+            new_dead = set(faults.dead_nodes) - dead_at_start
+            if not new_dead:
+                raise JobAbortedError(
+                    f"epoch aborted without an identifiable dead rank "
+                    f"(cause: {cause!r})"
+                )
+            if not policy.rank_recovery:
+                raise JobAbortedError(
+                    f"node(s) {sorted(new_dead)} failed and rank recovery "
+                    "is disabled"
+                )
+            restarts += 1
+            if restarts > policy.max_rank_restarts:
+                raise JobAbortedError(
+                    f"exceeded max_rank_restarts={policy.max_rank_restarts} "
+                    f"(dead nodes: {sorted(faults.dead_nodes)})"
+                )
+            trace.metrics.counter(obs.RECOVERY_RANK_RESTARTS).inc()
+            now = engine.now
+            for node_idx in sorted(new_dead):
+                trace.close_rank(node_idx, now)
+            for node_idx in surviving:
+                if node_idx not in new_dead:
+                    trace.record_recovery(
+                        f"rank restart {restarts}",
+                        node_idx,
+                        now,
+                        now,
+                        dead=",".join(str(n) for n in sorted(new_dead)),
+                        restart=restarts,
+                    )
+            if iterative and recovery_state.state is not None:
+                app.restore(recovery_state.state)
+
+        trace.finalize(engine.now)
+        trace.metrics.gauge(obs.JOB_MAKESPAN_SECONDS).set(engine.now)
+        trace.metrics.gauge(obs.JOB_ITERATIONS).set(iterations_done[0])
+
+        def total(name: str) -> int:
+            return int(trace.metrics.counter(name).total())
+
+        summary = RecoverySummary(
+            faults_injected=total(obs.RECOVERY_FAULTS_INJECTED),
+            block_failures=total(obs.RECOVERY_BLOCK_FAILURES),
+            blocks_retried=total(obs.RECOVERY_BLOCKS_RETRIED),
+            devices_blacklisted=total(obs.RECOVERY_DEVICES_BLACKLISTED),
+            split_refits=total(obs.RECOVERY_SPLIT_REFITS),
+            checkpoints=total(obs.RECOVERY_CHECKPOINTS),
+            rank_restarts=restarts,
+            comm_timeouts=total(obs.COMM_TIMEOUTS),
+            retransmits=total(obs.COMM_RETRANSMITS),
+            heartbeats=total(obs.COMM_HEARTBEATS),
+            dead_nodes=tuple(sorted(faults.dead_nodes)),
+        )
+
+        return JobResult(
+            output=dict(final_output),
+            makespan=engine.now,
+            trace=trace,
+            splits=all_splits,
+            iterations=iterations_done[0],
+            total_flops=trace.total_flops(),
+            network_bytes=network_bytes,
+            iteration_log=iteration_log,
+            policy=config.policy_name,
+            final_cpu_fractions=[
+                s.policy.effective_cpu_fraction()
+                for s in schedulers
+                if s.cpu_daemon is not None and s.gpu_daemons
+            ],
+            recovery=summary,
+        )
+
+    # ------------------------------------------------------------------
+    def _partition_input(
+        self, app: MapReduceApp, cluster: Cluster | None = None
+    ) -> list[list[Block]]:
+        """Level-1 partitioning: node shares, then partitions per node.
+
+        *cluster* overrides the runtime's cluster — the fault-tolerant
+        driver passes the shrunk survivor cluster after a rank failure.
+        """
+        cluster = cluster if cluster is not None else self.cluster
         config = self.config
         n_items = app.n_items()
         require_positive_int("app.n_items()", n_items)

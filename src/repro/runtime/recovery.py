@@ -1,0 +1,138 @@
+"""Recovery policy knobs and failure-reporting types for fault-tolerant PRS.
+
+This module is deliberately leaf-level (no imports from the rest of the
+runtime) so that :mod:`repro.runtime.job`, the scheduler, the daemons and
+the driver can all share these types without cycles.
+
+The knobs mirror what MPI-level fault-tolerance stacks expose (ULFM's
+revoke/shrink/agree; BLCR-style checkpoint intervals) scaled down to the
+simulated PRS cluster:
+
+* block-level: retry budget + exponential backoff for re-executing a
+  failed map block on a surviving device;
+* device-level: blacklist after ``blacklist_after`` failures and refit
+  the Equation (8) split over the survivors;
+* rank-level: heartbeat interval / miss factor for declaring a rank dead,
+  checkpoint interval for iterative apps, and a restart budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro._validation import (
+    require_nonnegative,
+    require_nonnegative_int,
+    require_positive,
+    require_positive_int,
+)
+
+
+class NodeDeadError(RuntimeError):
+    """Every map-capable device on a node is dead or blacklisted."""
+
+    def __init__(self, node_index: int, node_name: str = "") -> None:
+        self.node_index = node_index
+        self.node_name = node_name
+        label = node_name or f"#{node_index}"
+        super().__init__(
+            f"node {label}: no surviving device can run map blocks"
+        )
+
+
+class JobAbortedError(RuntimeError):
+    """The job exhausted its recovery budget (retries or rank restarts)."""
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Tunable recovery behaviour (see docs/FAULTS.md for guidance).
+
+    All times are simulated seconds.  ``comm_timeout_s=None`` (the
+    default) leaves point-to-point receives blocking forever; dead ranks
+    are then detected by the heartbeat layer alone, which avoids spurious
+    timeouts when backoff stretches an iteration.
+    """
+
+    #: attempts per block before the job aborts (first run + retries)
+    max_block_retries: int = 3
+    #: backoff before retry round ``r`` is ``base * factor**(r-1)``, capped
+    backoff_base_s: float = 1e-3
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 0.05
+    #: failures on one device before it is blacklisted and the split refit
+    blacklist_after: int = 2
+    #: optional timeout applied to every ``RankComm.recv`` (None = block)
+    comm_timeout_s: float | None = None
+    #: heartbeat cadence and how many missed beats declare a rank dead
+    heartbeat_interval_s: float = 2e-3
+    heartbeat_miss_factor: float = 10.0
+    #: iterative apps snapshot loop state every this many iterations
+    checkpoint_interval: int = 1
+    #: whole-job restarts-from-checkpoint allowed before aborting
+    max_rank_restarts: int = 2
+    #: master-led restart of dead ranks (False: a dead rank aborts the job)
+    rank_recovery: bool = True
+    #: wait before re-sending a dropped point-to-point message
+    retransmit_timeout_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        require_positive_int("max_block_retries", self.max_block_retries)
+        require_nonnegative("backoff_base_s", self.backoff_base_s)
+        require_positive("backoff_factor", self.backoff_factor)
+        require_nonnegative("backoff_max_s", self.backoff_max_s)
+        require_positive_int("blacklist_after", self.blacklist_after)
+        if self.comm_timeout_s is not None:
+            require_positive("comm_timeout_s", self.comm_timeout_s)
+        require_positive("heartbeat_interval_s", self.heartbeat_interval_s)
+        require_positive("heartbeat_miss_factor", self.heartbeat_miss_factor)
+        require_positive_int("checkpoint_interval", self.checkpoint_interval)
+        require_nonnegative_int("max_rank_restarts", self.max_rank_restarts)
+        require_positive("retransmit_timeout_s", self.retransmit_timeout_s)
+
+
+@dataclass
+class RecoveryState:
+    """Driver-owned checkpoint store for iterative restart.
+
+    The master's convergence phase calls :meth:`save` every
+    ``interval`` iterations; after a rank failure the driver restores
+    the app from ``state`` and resumes the loop at ``iteration``.
+    """
+
+    interval: int = 1
+    iteration: int = 0
+    state: Any = None
+    checkpoints_taken: int = 0
+
+    def save(self, iteration: int, state: Any) -> None:
+        self.iteration = iteration
+        self.state = state
+        self.checkpoints_taken += 1
+
+
+@dataclass(frozen=True)
+class RecoverySummary:
+    """What fault tolerance cost this job (attached to ``JobResult``)."""
+
+    faults_injected: int = 0
+    block_failures: int = 0
+    blocks_retried: int = 0
+    devices_blacklisted: int = 0
+    split_refits: int = 0
+    checkpoints: int = 0
+    rank_restarts: int = 0
+    comm_timeouts: int = 0
+    retransmits: int = 0
+    heartbeats: int = 0
+    dead_nodes: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def clean(self) -> bool:
+        """True when no fault fired and no recovery action was taken."""
+        return (
+            self.faults_injected == 0
+            and self.block_failures == 0
+            and self.rank_restarts == 0
+        )

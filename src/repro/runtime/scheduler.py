@@ -13,6 +13,16 @@ registry by ``config.scheduling``: the paper's two strategies
 locality-dynamic extensions live in :mod:`repro.runtime.policies`.  The
 scheduler itself keeps what every policy shares: the device daemons, the
 Equation (8) split decision, and the reduce path.
+
+Fault tolerance (docs/FAULTS.md): when the job injects faults, the
+daemons report failed blocks back here; after the policy finishes, the
+scheduler re-executes them on surviving devices with exponential backoff
+and a per-block retry budget.  A device that keeps failing is
+blacklisted and the Equation (8) split is refit over the survivors —
+the same refit path the adaptive-feedback policy uses for degraded
+devices.  Emission order is canonicalized per block, so the reduce input
+(and therefore the numerical result) is identical whether or not any
+block had to be retried.
 """
 
 from __future__ import annotations
@@ -24,10 +34,39 @@ from repro.core.analytic import SplitDecision, multi_device_split, workload_spli
 from repro.runtime.api import Block, MapReduceApp
 from repro.runtime.daemons import CpuDaemon, GpuDaemon, NodeResources
 from repro.runtime.job import JobConfig
+from repro.runtime.partition import weighted_partition
 from repro.runtime.policies import SchedulingPolicy, get_policy
+from repro.runtime.recovery import JobAbortedError, NodeDeadError
 from repro.runtime.shuffle import KeyValue
 from repro.simulate.engine import Event
 from repro.simulate.trace import Trace
+
+
+class _BlockOrderedSink:
+    """Collects per-block emissions and flushes them in block order.
+
+    Completion order varies once a block can fail and re-run elsewhere;
+    flushing in ``(start, stop)`` order makes the pair stream — and every
+    float reduction over it — bit-identical to the fault-free run.  Pure
+    bookkeeping: no simulated events, so fault-free schedules are
+    unchanged.
+    """
+
+    def __init__(self, target: list[KeyValue]) -> None:
+        self._target = target
+        self._chunks: dict[tuple[int, int], list[KeyValue]] = {}
+
+    def record_block(self, block: Block, pairs: list[KeyValue]) -> None:
+        self._chunks[(block.start, block.stop)] = list(pairs)
+
+    def extend(self, pairs: list[KeyValue]) -> None:  # pragma: no cover
+        # Fallback for sinks fed outside the block protocol.
+        self._target.extend(pairs)
+
+    def flush(self) -> None:
+        for key in sorted(self._chunks):
+            self._target.extend(self._chunks[key])
+        self._chunks.clear()
 
 
 class SubTaskScheduler:
@@ -65,7 +104,22 @@ class SubTaskScheduler:
                 f"node has {len(resources.gpu_engines)} GPU engines)"
             )
 
+        #: fault wiring (None in fault-free runs; see ``enable_faults``)
+        self.faults = None
+        self.fault_policy = config.fault_policy
+        self.node_index = resources.node_index
+        self._blacklist: set[str] = set()
+        self._device_failures: dict[str, int] = {}
+        self._failed_blocks: list[Block] = []
+        self._retry_counts: dict[tuple[int, int], int] = {}
+
         self.split_decision = self._decide_split()
+        #: construction-time split over the nominal device set.  Policies
+        #: chop partitions with this, *never* the refit decision: block
+        #: boundaries must be invariant under faults so the canonicalized
+        #: pair stream — and every float reduction over it — is bitwise
+        #: identical to the fault-free run (docs/FAULTS.md).
+        self._nominal_split = self.split_decision
         if self.split_decision is not None:
             trace.metrics.gauge(obs.SPLIT_CPU_FRACTION).set(
                 self.split_decision.p, node=node.name
@@ -73,13 +127,103 @@ class SubTaskScheduler:
         self.policy: SchedulingPolicy = get_policy(config.policy_name)(self)
 
     # ------------------------------------------------------------------
+    # Fault wiring and device liveness
+    # ------------------------------------------------------------------
+    def enable_faults(self, faults: Any, node_index: int) -> None:
+        """Attach live fault state and register this node's devices."""
+        self.faults = faults
+        self.node_index = node_index
+        self.res.faults = faults
+        self.res.node_index = node_index
+        keys: list[str] = []
+        if self.cpu_daemon is not None:
+            key = faults.device_key(node_index, "cpu")
+            self.cpu_daemon.fault_key = key
+            self.cpu_daemon.fault_listener = self._on_block_failure
+            keys.append(key)
+        for i, daemon in enumerate(self.gpu_daemons):
+            key = faults.device_key(node_index, f"gpu{i}")
+            daemon.fault_key = key
+            daemon.fault_listener = self._on_block_failure
+            keys.append(key)
+        faults.register_devices(node_index, keys)
+        if any(faults.device_dead(k) for k in keys):
+            # A restarted incarnation inherits devices killed earlier; the
+            # construction-time split assumed the nominal device set.
+            self._refit_split()
+        faults.wire_node_links(
+            node_index,
+            [
+                link
+                for eng in self.res.gpu_engines
+                for link in {id(eng.h2d): eng.h2d, id(eng.d2h): eng.d2h}.values()
+            ],
+        )
+
+    def daemon_active(self, daemon: CpuDaemon | GpuDaemon | None) -> bool:
+        if daemon is None:
+            return False
+        if daemon.device_name in self._blacklist:
+            return False
+        if self.faults is not None and daemon.fault_key is not None:
+            return not self.faults.device_dead(daemon.fault_key)
+        return True
+
+    @property
+    def active_cpu_daemon(self) -> CpuDaemon | None:
+        return self.cpu_daemon if self.daemon_active(self.cpu_daemon) else None
+
+    @property
+    def active_gpu_daemons(self) -> list[GpuDaemon]:
+        return [d for d in self.gpu_daemons if self.daemon_active(d)]
+
+    def active_map_engines(self) -> list[CpuDaemon | GpuDaemon]:
+        """Engines able to take map blocks, in device-weight order."""
+        cpu = self.active_cpu_daemon
+        engines: list[CpuDaemon | GpuDaemon] = [cpu] if cpu is not None else []
+        engines.extend(self.active_gpu_daemons)
+        return engines
+
+    def _on_block_failure(
+        self, daemon: CpuDaemon | GpuDaemon, block: Block, fatal: bool
+    ) -> None:
+        """Daemon callback: a map block died on *daemon*."""
+        name = daemon.device_name
+        self.trace.metrics.counter(obs.RECOVERY_BLOCK_FAILURES).inc(
+            1, device=name
+        )
+        self._failed_blocks.append(block)
+        count = self._device_failures.get(name, 0) + 1
+        self._device_failures[name] = count
+        if name not in self._blacklist and (
+            fatal or count >= self.fault_policy.blacklist_after
+        ):
+            self._blacklist.add(name)
+            self.trace.metrics.counter(obs.RECOVERY_DEVICES_BLACKLISTED).inc(
+                1, device=name
+            )
+            self._refit_split()
+
+    def _refit_split(self) -> None:
+        """Refit the Equation (8) split over the surviving devices."""
+        self.split_decision = self._decide_split()
+        self.trace.metrics.counter(obs.RECOVERY_SPLIT_REFITS).inc(
+            1, node=self.res.node.name
+        )
+        if self.split_decision is not None:
+            self.trace.metrics.gauge(obs.SPLIT_CPU_FRACTION).set(
+                self.split_decision.p, node=self.res.node.name
+            )
+
+    # ------------------------------------------------------------------
     def _decide_split(self) -> SplitDecision | None:
         """Equation (8) for this node, honouring config overrides.
 
         Returns ``None`` when only one device class is engaged (nothing to
-        split).
+        split).  Computed over the *active* device set, so a blacklist
+        refit degrades gracefully to the survivors.
         """
-        if self.cpu_daemon is None or not self.gpu_daemons:
+        if self.active_cpu_daemon is None or not self.active_gpu_daemons:
             return None
         node = self.res.node
         staged = not self.app.iterative
@@ -101,26 +245,37 @@ class SubTaskScheduler:
             )
         return decision
 
-    def device_weights(self, p_override: float | None = None) -> list[float]:
-        """Work fractions per engaged device: [cpu?, gpu0, gpu1, ...].
+    def device_weights(
+        self, p_override: float | None = None, nominal: bool = False
+    ) -> list[float]:
+        """Work fractions per device: [cpu?, gpu0, gpu1, ...].
 
         *p_override* replaces the CPU fraction (adaptive policies feed the
         measured ``p`` back through here); ``None`` keeps the Equation (8)
-        decision / ``force_cpu_fraction`` behaviour.
+        decision / ``force_cpu_fraction`` behaviour.  With ``nominal`` the
+        vector spans the configured device set and the construction-time
+        split (fault-invariant — aligned with ``[cpu?] + gpu_daemons``);
+        otherwise it spans the survivors (aligned with
+        :meth:`active_map_engines`), which is what block recovery uses to
+        redistribute failed blocks.
         """
-        if self.cpu_daemon is not None and not self.gpu_daemons:
+        cpu = self.cpu_daemon if nominal else self.active_cpu_daemon
+        gpus = self.gpu_daemons if nominal else self.active_gpu_daemons
+        decision = self._nominal_split if nominal else self.split_decision
+        if cpu is not None and not gpus:
             return [1.0]
-        if self.cpu_daemon is None:
+        if cpu is None:
+            if not gpus:
+                return []
             # GPUs only: equal split across identical cards.
-            n = len(self.gpu_daemons)
-            return [1.0 / n] * n
-        assert self.split_decision is not None
-        p = self.split_decision.p if p_override is None else p_override
-        n = len(self.gpu_daemons)
+            return [1.0 / len(gpus)] * len(gpus)
+        assert decision is not None
+        p = decision.p if p_override is None else p_override
+        n = len(gpus)
         if n == 1:
             return [p, 1.0 - p]
         # Several GPUs: Equation (5) generalised across the device set.
-        devices = [self.res.node.cpu] + [d.gpu for d in self.gpu_daemons]
+        devices = [self.res.node.cpu] + [d.gpu for d in gpus]
         staged = not self.app.iterative
         fractions = multi_device_split(
             devices,
@@ -143,10 +298,83 @@ class SubTaskScheduler:
     def run_map_partition(
         self, partition: Block, sink: list[KeyValue]
     ) -> Generator[Event, Any, None]:
-        """Process fragment: map *partition* with the configured policy."""
+        """Process fragment: map *partition* with the configured policy,
+        then re-execute any blocks lost to device faults."""
         if partition.n_items == 0:
             return
-        yield from self.policy.run_map_partition(partition, sink)
+        ordered = _BlockOrderedSink(sink)
+        yield from self.policy.run_map_partition(partition, ordered)
+        if self.faults is not None:
+            # The retry budget is per map pass: an iterative app routes a
+            # dead device's blocks through recovery every iteration, and
+            # that steady-state rerouting must not exhaust the budget.
+            self._retry_counts = {}
+            yield from self._recover_failed_blocks(ordered)
+        ordered.flush()
+
+    def note_undispatched(self, block: Block) -> None:
+        """A policy drained without running *block* (its devices died)."""
+        self._failed_blocks.append(block)
+
+    def _recover_failed_blocks(
+        self, ordered: _BlockOrderedSink
+    ) -> Generator[Event, Any, None]:
+        """Retry failed blocks on survivors with exponential backoff."""
+        engine = self.res.engine
+        policy = self.fault_policy
+        round_no = 0
+        while self._failed_blocks:
+            round_no += 1
+            blocks = sorted(
+                {(b.start, b.stop): b for b in self._failed_blocks}.values(),
+                key=lambda b: (b.start, b.stop),
+            )
+            self._failed_blocks = []
+            for block in blocks:
+                key = (block.start, block.stop)
+                attempts = self._retry_counts.get(key, 0) + 1
+                self._retry_counts[key] = attempts
+                if attempts > policy.max_block_retries:
+                    raise JobAbortedError(
+                        f"block [{block.start}:{block.stop}) on node "
+                        f"{self.res.node.name} exceeded its retry budget "
+                        f"({policy.max_block_retries})"
+                    )
+            engines = self.active_map_engines()
+            if not engines:
+                raise NodeDeadError(self.node_index, self.res.node.name)
+            wait_start = engine.now
+            delay = min(
+                policy.backoff_base_s * policy.backoff_factor ** (round_no - 1),
+                policy.backoff_max_s,
+            )
+            if delay > 0:
+                yield engine.timeout(delay)
+            self.trace.metrics.counter(obs.RECOVERY_BLOCKS_RETRIED).inc(
+                len(blocks), node=self.res.node.name
+            )
+            weights = self.device_weights()
+            ranges = weighted_partition(len(blocks), weights)
+            procs = []
+            for daemon, (lo, hi) in zip(engines, ranges):
+                if hi <= lo:
+                    continue
+                procs.append(
+                    engine.process(
+                        daemon.run_map_blocks(blocks[lo:hi], ordered),
+                        name=f"retry.{daemon.device_name}",
+                    )
+                )
+            if procs:
+                yield engine.all_of(procs)
+            self.trace.record_recovery(
+                f"retry round {round_no}",
+                self.node_index,
+                wait_start,
+                engine.now,
+                blocks=len(blocks),
+                round=round_no,
+            )
 
     # ------------------------------------------------------------------
     # Reduce phase
@@ -161,7 +389,16 @@ class SubTaskScheduler:
         """
         if not groups:
             return
-        if self.cpu_daemon is not None:
+        cpu = self.active_cpu_daemon
+        gpus = self.active_gpu_daemons
+        if cpu is not None:
+            yield from cpu.run_reduce(groups, sink)
+        elif gpus:
+            yield from gpus[0].run_reduce(groups, sink)
+        elif self.cpu_daemon is not None:
+            # Every device dead/blacklisted: fall back to the nominal CPU
+            # daemon rather than silently dropping the reduce (the driver
+            # aborts via NodeDeadError on the map path first in practice).
             yield from self.cpu_daemon.run_reduce(groups, sink)
         else:
             yield from self.gpu_daemons[0].run_reduce(groups, sink)

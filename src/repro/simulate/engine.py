@@ -150,9 +150,19 @@ class Process(Event):
         return not self._triggered
 
     def interrupt(self, cause: Any = None) -> None:
-        """Throw :class:`Interrupt` into the process at the current time."""
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a process that already terminated is a programming
+        error (the caller holds a stale handle); raise loudly instead of
+        silently dropping the interrupt.  Callers that may legitimately
+        race a process's completion should guard with ``is_alive``.
+        """
         if not self.is_alive:
-            return
+            raise SimulationError(
+                f"cannot interrupt process {self.name!r}: it already "
+                "terminated (guard the call with `proc.is_alive` if the "
+                "race is intentional)"
+            )
         exc = Interrupt(cause)
         wake = Event(self.engine)
 
@@ -271,6 +281,13 @@ class Engine:
         self.now: float = 0.0
         self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
+        #: callables consulted when the queue drains while an awaited event
+        #: is still pending; each may return a line of context (or None)
+        #: that is appended to the deadlock error message.  Subsystems such
+        #: as the simulated MPI layer register reporters here so a silent
+        #: hang names the blocked (rank, tag) pairs instead of leaving the
+        #: user to bisect the schedule.
+        self.diagnostics: list[Callable[[], Optional[str]]] = []
 
     # ------------------------------------------------------------------
     # Factory helpers
@@ -324,11 +341,19 @@ class Engine:
             stop = until
             while not stop.processed:
                 if not self._queue:
-                    raise SimulationError(
+                    message = (
                         "queue drained before the awaited event triggered "
                         "(deadlock: a process is waiting on an event nobody "
                         "will fire)"
                     )
+                    details = [
+                        line
+                        for line in (fn() for fn in self.diagnostics)
+                        if line
+                    ]
+                    if details:
+                        message += "\n" + "\n".join(details)
+                    raise SimulationError(message)
                 self.step()
             if not stop.ok:
                 raise stop.value  # type: ignore[misc]

@@ -78,10 +78,40 @@ class Resource:
         else:
             self._in_use -= 1
 
+    def cancel(self, evt: Event) -> None:
+        """Withdraw an outstanding request (interrupted waiter cleanup).
+
+        If the request is still queued it is simply removed.  If it was
+        already granted — including a grant scheduled but not yet seen by
+        the interrupted process — the unit is returned via :meth:`release`
+        so it is not leaked.
+        """
+        try:
+            self._waiters.remove(evt)
+            return
+        except ValueError:
+            pass
+        if evt.triggered:
+            self.release()
+
+    def acquire(self) -> Generator[Event, Any, None]:
+        """Process fragment: acquire one unit, cancelling on interrupt.
+
+        Equivalent to ``yield resource.request()`` except that an
+        exception thrown into the wait (e.g. an :class:`Interrupt`) never
+        leaks the unit or leaves a zombie waiter behind.
+        """
+        req = self.request()
+        try:
+            yield req
+        except BaseException:
+            self.cancel(req)
+            raise
+
     def using(self, duration: float) -> Generator[Event, Any, None]:
         """Process fragment: acquire, hold *duration* seconds, release."""
         require_nonnegative("duration", duration)
-        yield self.request()
+        yield from self.acquire()
         try:
             yield self.engine.timeout(duration)
         finally:
@@ -118,6 +148,10 @@ class Link:
         self.bytes_moved = 0.0
         #: cumulative seconds the link was occupied
         self.busy_time = 0.0
+        #: optional occupancy multiplier ``f(now) -> float`` consulted per
+        #: transfer; fault injection degrades a PCI-E bus or NIC for a time
+        #: window by installing one.  ``None`` (the default) adds no cost.
+        self.time_scale = None
 
     def occupancy(self, nbytes: float) -> float:
         """Seconds one transfer of *nbytes* holds the link."""
@@ -127,7 +161,9 @@ class Link:
     def transfer(self, nbytes: float) -> Generator[Event, Any, None]:
         """Process fragment performing one FIFO transfer of *nbytes*."""
         duration = self.occupancy(nbytes)
-        yield self._channel.request()
+        if self.time_scale is not None:
+            duration *= max(float(self.time_scale(self.engine.now)), 1.0)
+        yield from self._channel.acquire()
         try:
             yield self.engine.timeout(duration)
             self.bytes_moved += nbytes
@@ -164,6 +200,23 @@ class Store:
         else:
             self._getters.append(evt)
         return evt
+
+    def cancel(self, evt: Event) -> None:
+        """Withdraw a pending ``get`` (e.g. a recv that timed out).
+
+        A zombie getter left in the queue would steal the next item put —
+        for message mailboxes that silently swallows a message meant for a
+        later receiver.  Already-satisfied gets cannot be cancelled; the
+        caller must consume (or forward) the delivered item.
+        """
+        try:
+            self._getters.remove(evt)
+        except ValueError:
+            if evt.triggered:
+                raise RuntimeError(
+                    f"{self.name}: cannot cancel a satisfied get; the item "
+                    "was already delivered"
+                ) from None
 
     def __len__(self) -> int:
         return len(self._items)

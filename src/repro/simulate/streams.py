@@ -102,7 +102,7 @@ class GpuStreamEngine:
         self, block: StreamBlock, trace: Trace | None = None, label: str = "blk"
     ) -> Generator[Event, Any, None]:
         """Process fragment: h2d copy -> kernel -> d2h copy for one block."""
-        yield self.inflight.request()
+        yield from self.inflight.acquire()
         try:
             if block.in_bytes > 0:
                 t0 = self.engine.now
@@ -113,7 +113,7 @@ class GpuStreamEngine:
                         nbytes=block.in_bytes,
                     )
             duration = kernel_time(self.gpu, block)
-            yield self.compute.request()
+            yield from self.compute.acquire()
             try:
                 t0 = self.engine.now
                 yield self.engine.timeout(duration)

@@ -326,6 +326,44 @@ class Trace:
             )
         self.end_phase(self.begin_phase(phase, rank, iteration, start), end)
 
+    def record_recovery(
+        self, label: str, rank: int, start: float, end: float, **attrs
+    ) -> None:
+        """Append a ``recovery``-category span on *rank*'s track (retry
+        rounds, restart gaps), parented under its open phase if any."""
+        phase = self._open_phase.get(rank)
+        parent = (
+            phase.span_id
+            if phase is not None and phase.is_open and start >= phase.start
+            else None
+        )
+        self.tracer.record(
+            label,
+            f"rank{rank}",
+            start,
+            end,
+            category="recovery",
+            parent_id=parent,
+            attrs=dict(attrs) if attrs else None,
+        )
+
+    def close_rank(self, rank: int, end: float) -> None:
+        """Close *rank*'s open iteration/job envelope spans at *end*.
+
+        Used when a rank dies mid-job: its track ends at the failure
+        instant instead of being stretched to the final makespan by
+        :meth:`finalize`.
+        """
+        phase = self._open_phase.pop(rank, None)
+        if phase is not None and phase.is_open:
+            self.end_phase(phase, max(end, phase.start))
+        it_span = self._iter_span.pop(rank, None)
+        if it_span is not None and it_span.is_open:
+            self.tracer.end(it_span, max(end, it_span.start))
+        job = self._job_span.pop(rank, None)
+        if job is not None and job.is_open:
+            self.tracer.end(job, max(end, job.start))
+
     def finalize(self, end_time: float) -> None:
         """Close the open job/iteration envelope spans at *end_time*."""
         self.tracer.finalize(end_time)

@@ -63,6 +63,19 @@ class TestRenderReport:
         assert "makespan" in text
         assert "per-node rate" not in text
 
+    def test_fault_free_report_has_no_recovery_section(self, cmeans_like_result):
+        result, cluster = cmeans_like_result
+        assert "fault tolerance:" not in render_report(result, cluster)
+
+    def test_faulted_report_renders_recovery_section(self, delta4):
+        result = PRSRuntime(
+            delta4, JobConfig(faults="gpu_kill@0:t=0.022")
+        ).run(ModSumApp(n=4000))
+        text = render_report(result, delta4)
+        assert "fault tolerance:" in text
+        assert "1 fault(s)" in text
+        assert "blocks re-executed" in text
+
     def test_cli_report_flag(self, capsys):
         from repro.cli import main
 

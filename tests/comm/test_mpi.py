@@ -8,7 +8,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.comm.mpi import World, payload_nbytes, run_spmd
 from repro.hardware.cluster import NetworkSpec
-from repro.simulate.engine import Engine
+from repro.simulate.engine import Engine, SimulationError
 
 
 def make_world(size, latency=0.0, bandwidth=1.0, same_node=False):
@@ -51,6 +51,23 @@ class TestPointToPoint:
             return msg
 
         assert run_spmd(world, main)[1] == {"x": 7}
+
+    def test_recv_without_sender_names_blocked_pair(self):
+        # A silent hang must not stay silent: when the event queue drains
+        # with a receive still posted, the deadlock error reports exactly
+        # which (rank, tag) pairs are blocked and on whom.
+        world = make_world(2)
+
+        def main(comm):
+            if comm.rank == 1:
+                yield from comm.recv(source=0, tag=42)  # nobody sends
+            return None
+
+        with pytest.raises(SimulationError) as excinfo:
+            run_spmd(world, main)
+        message = str(excinfo.value)
+        assert "deadlock" in message
+        assert "rank 1 <- rank 0 (tag 42)" in message
 
     def test_wire_time_charged(self):
         world = make_world(2, latency=1e-3, bandwidth=1.0)

@@ -105,3 +105,33 @@ class TestDeterminism:
         r2, _ = self.run_once(Scheduling.STATIC)
         for rec1, rec2 in zip(r1.trace.records, r2.trace.records):
             assert rec1 == rec2
+
+
+class TestFaultedDeterminism:
+    """Fault injection preserves the determinism contract: the same
+    FaultPlan + seed yields bit-identical timings and recovery counters
+    (the deeper numerical-identity checks live in
+    tests/integration/test_fault_tolerance.py)."""
+
+    def run_once(self):
+        from repro.apps.cmeans import CMeansApp
+        from repro.data.synth import gaussian_mixture
+
+        pts, _, _ = gaussian_mixture(2000, 6, 3, seed=5)
+        app = CMeansApp(pts, 3, seed=6, max_iterations=3, epsilon=1e-12)
+        config = JobConfig(
+            faults=["gpu_kill@0:t=0.025~0.04", "rank_kill@3:t=0.03~0.05"],
+            fault_seed=11,
+        )
+        return PRSRuntime(delta_cluster(n_nodes=4), config).run(app), app
+
+    def test_same_fault_seed_bit_identical(self):
+        r1, a1 = self.run_once()
+        r2, a2 = self.run_once()
+        assert r1.makespan == r2.makespan  # exact, not approx
+        assert r1.recovery == r2.recovery
+        assert r1.recovery is not None and not r1.recovery.clean
+        assert r1.network_bytes == r2.network_bytes
+        np.testing.assert_array_equal(a1.centers, a2.centers)
+        for rec1, rec2 in zip(r1.trace.records, r2.trace.records):
+            assert rec1 == rec2

@@ -241,13 +241,37 @@ class TestInterrupt:
         eng.process(alarm())
         assert eng.run(proc) == ("interrupted", "wake", 2.0)
 
-    def test_interrupting_dead_process_is_noop(self):
+    def test_interrupting_dead_process_raises(self):
+        # A stale handle is a programming error: interrupting a process
+        # that already terminated must fail loudly, naming the process.
         eng = Engine()
 
         def quick():
             yield eng.timeout(1.0)
 
-        proc = eng.process(quick())
+        proc = eng.process(quick(), name="quickling")
         eng.run(proc)
-        proc.interrupt("late")  # must not raise
-        eng.run()
+        assert not proc.is_alive
+        with pytest.raises(SimulationError, match="quickling"):
+            proc.interrupt("late")
+
+    def test_interrupt_guarded_by_is_alive_race(self):
+        # The sanctioned pattern: race work against a signal, guard the
+        # interrupt with is_alive — never raises regardless of who wins.
+        eng = Engine()
+        signal = eng.event()
+
+        def work():
+            yield eng.timeout(1.0)
+            return "done"
+
+        def supervisor():
+            proc = eng.process(work())
+            signal.succeed("stop", delay=1.0)  # same instant as completion
+            yield eng.any_of([proc, signal])
+            if proc.is_alive:
+                proc.interrupt("losing the race")
+            result = yield proc
+            return result
+
+        assert eng.run(eng.process(supervisor())) == "done"

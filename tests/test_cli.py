@@ -78,6 +78,34 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", "--gpu-only", "--cpu-only"])
 
+    def test_faulted_run_reports_recovery(self, capsys):
+        code = main([
+            "run", "--app", "cmeans", "--size", "2000", "--nodes", "2",
+            "--iterations", "3", "--faults", "gpu_kill@0:t=0.03",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults         : 1 injected" in out
+        assert "blocks retried" in out
+
+    def test_faulted_json_includes_recovery(self, capsys):
+        import json
+
+        code = main([
+            "run", "--app", "cmeans", "--size", "2000", "--nodes", "2",
+            "--iterations", "3", "--json",
+            "--faults", "gpu_kill@0:t=0.03",
+            "--faults", "straggler@1.cpu:factor=2,t0=0.02,t1=0.05",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["recovery"]["faults_injected"] >= 1
+        assert payload["recovery"]["blocks_retried"] > 0
+
+    def test_bad_fault_spec_rejected(self):
+        with pytest.raises(ValueError):
+            main(["run", "--faults", "quantum_flip@0:t=1"])
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
