@@ -16,6 +16,7 @@ intensity.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -31,6 +32,17 @@ def save_table(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+
+
+def save_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable benchmark payload as
+    ``benchmarks/results/BENCH_<name>.json`` (the perf-trajectory files
+    ``repro bench compare`` gates on).  Stable key order so reruns diff
+    cleanly."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def save_profile(name: str, trace) -> pathlib.Path | None:

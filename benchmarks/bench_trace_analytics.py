@@ -1,0 +1,94 @@
+"""Trace-analytics baseline sweep (the `repro bench baseline` payload).
+
+Regenerates ``benchmarks/results/BENCH_trace_analytics.json`` — the
+committed reference the CI regression gate (``repro bench compare``)
+re-runs against — and asserts the analytics invariants on every workload
+of the sweep:
+
+* critical path + slack tiles the makespan within 1e-6 s;
+* every run leaves at least one audited scheduling decision;
+* the model-drift of the *static* C-means run is small (the simulator
+  executes the roofline model the split was derived from, so observed
+  and predicted ``p`` should nearly coincide);
+* a freshly collected sweep self-compares clean, while a doctored 2x
+  slowdown trips the gate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import once, save_json, save_table
+from repro.analysis.tables import format_table
+from repro.obs.analyze.baseline import (
+    DEFAULT_WORKLOADS,
+    collect_baseline,
+    compare_baselines,
+)
+
+
+def build_sweep():
+    payload = collect_baseline()
+    rows = [
+        [
+            name,
+            f"{e['metrics']['makespan_s'] * 1e3:.2f} ms",
+            f"{e['metrics']['critical_path_work_s'] * 1e3:.2f} ms",
+            f"{e['metrics']['critical_path_slack_s'] * 1e3:.3f} ms",
+            f"{e['metrics']['max_abs_drift']:.4f}",
+            str(e["metrics"]["decision_records"]),
+        ]
+        for name, e in sorted(payload["workloads"].items())
+    ]
+    table = format_table(
+        ["workload", "makespan", "cp work", "cp slack", "max drift",
+         "decisions"],
+        rows,
+        title="Trace-analytics baseline sweep (repro bench baseline)",
+    )
+    return table, payload
+
+
+@pytest.mark.benchmark(group="trace-analytics")
+def test_baseline_sweep(benchmark):
+    table, payload = once(benchmark, build_sweep)
+    save_table("trace_analytics_sweep", table)
+    save_json("trace_analytics", payload)
+
+    assert set(payload["workloads"]) == {w.name for w in DEFAULT_WORKLOADS}
+    for name, entry in payload["workloads"].items():
+        m = entry["metrics"]
+        assert m["makespan_s"] > 0.0, name
+        # The tiling invariant: work + slack accounts for the makespan.
+        gap = abs(
+            m["makespan_s"]
+            - (m["critical_path_work_s"] + m["critical_path_slack_s"])
+        )
+        assert gap <= 1e-6, (name, gap)
+        assert m["decision_records"] >= 1, name
+    # The simulator executes the same roofline model Equation (8) was
+    # solved against, so the pre-split policies track the prediction.
+    assert payload["workloads"]["cmeans-static"]["metrics"][
+        "max_abs_drift"
+    ] <= 0.05
+    assert payload["workloads"]["cmeans-adaptive"]["metrics"][
+        "max_abs_drift"
+    ] <= 0.05
+
+    # The gate itself: identical sweeps pass, a 2x slowdown fails.
+    assert compare_baselines(payload, payload, tolerance=0.01).ok
+    slowed = {
+        "schema_version": payload["schema_version"],
+        "benchmark": payload["benchmark"],
+        "workloads": {
+            name: {
+                "spec": e["spec"],
+                "metrics": {**e["metrics"],
+                            "makespan_s": e["metrics"]["makespan_s"] * 2.0},
+            }
+            for name, e in payload["workloads"].items()
+        },
+    }
+    outcome = compare_baselines(payload, slowed, tolerance=0.25)
+    assert not outcome.ok
+    assert all(r.metric == "makespan_s" for r in outcome.regressions)

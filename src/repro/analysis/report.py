@@ -66,6 +66,60 @@ def render_profile_summary(result: JobResult) -> str:
     return "\n".join(lines)
 
 
+def render_analysis(analysis, top_resources: int = 4) -> str:
+    """Compact text view of a :class:`repro.obs.analyze.TraceAnalysis`:
+    where the makespan went (critical path), who was slow (stragglers),
+    and how far reality drifted from the Equation (8) prediction."""
+    cp = analysis.critical_path
+    lines = [
+        "critical path (what the makespan was waiting on):",
+        f"  length          : {cp.length * 1e3:.3f} ms = work "
+        f"{cp.work * 1e3:.3f} ms + slack {cp.slack * 1e3:.3f} ms",
+        f"  tiling gap      : {cp.tiling_gap:.3e} s (bound 1e-6)",
+    ]
+    by_resource = list(cp.by_resource().items())
+    if by_resource:
+        makespan = cp.makespan or 1.0
+        shares = ", ".join(
+            f"{track or '(filler)'} {seconds / makespan:.0%}"
+            for track, seconds in by_resource[:top_resources]
+        )
+        lines.append(f"  critical share  : {shares}")
+    sections = ["\n".join(lines)]
+
+    if analysis.imbalance.stragglers:
+        rows = [
+            [
+                s.device,
+                s.label,
+                f"{s.duration * 1e3:.3f} ms",
+                f"{s.ratio_to_median:.2f}x",
+            ]
+            for s in analysis.imbalance.stragglers
+        ]
+        sections.append(
+            format_table(
+                ["device", "block", "duration", "vs median"],
+                rows,
+                title=f"top stragglers (imbalance factor "
+                f"{analysis.imbalance.imbalance_factor:.2f}):",
+            )
+        )
+
+    if analysis.drift:
+        sections.append(
+            f"model drift       : max |observed - predicted| p = "
+            f"{analysis.max_abs_drift:.4f} over {len(analysis.drift)} "
+            f"node-iterations ({len(analysis.decisions)} audited decisions)"
+        )
+    elif analysis.decisions:
+        sections.append(
+            f"decision audit    : {len(analysis.decisions)} records "
+            "(no split decisions to pair with observations)"
+        )
+    return "\n\n".join(sections)
+
+
 def render_report(
     result: JobResult,
     cluster: Cluster | None = None,
@@ -181,6 +235,9 @@ def render_report(
 
     # ---- profile reconciliation -----------------------------------------
     sections.append(render_profile_summary(result))
+
+    # ---- trace analytics -------------------------------------------------
+    sections.append(render_analysis(result.analyze()))
 
     # ---- iterations -------------------------------------------------------
     log = result.iteration_log

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
@@ -250,6 +250,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 {"p": s.p, "regime": s.regime.value} for s in result.splits
             ],
             "device_summary": result.trace.summary(),
+            "analysis": result.analyze().to_dict(),
         }
         if result.recovery is not None:
             from dataclasses import asdict
@@ -317,8 +318,135 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_metrics(args: argparse.Namespace) -> int:
     _, _, _, result = _run_job(args)
-    sys.stdout.write(result.trace.metrics.render())
+    if args.format == "json":
+        import json
+
+        print(json.dumps(result.trace.metrics.to_dict(), indent=2,
+                         sort_keys=True))
+    else:
+        sys.stdout.write(result.trace.metrics.render())
     return 0
+
+
+def _profile_paths(paths: list[str]) -> list[str]:
+    """Expand profile arguments: directories become their ``*.trace.json``
+    files, sorted for determinism."""
+    import pathlib
+
+    out: list[str] = []
+    for raw in paths:
+        p = pathlib.Path(raw)
+        if p.is_dir():
+            found = sorted(str(f) for f in p.glob("*.trace.json"))
+            if not found:
+                raise SystemExit(f"no *.trace.json profiles under {raw!r}")
+            out.extend(found)
+        elif p.exists():
+            out.append(str(p))
+        else:
+            raise SystemExit(f"profile not found: {raw!r}")
+    return out
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Post-run trace analytics: live run or saved profile(s)."""
+    import json
+
+    from repro.analysis.report import render_analysis
+    from repro.obs.analyze import analyze_tracer
+    from repro.obs.spans import SpanTracer
+
+    analyses: list[tuple[str, Any]] = []
+    if args.profiles:
+        for path in _profile_paths(args.profiles):
+            with open(path, "r", encoding="utf-8") as fh:
+                tracer = SpanTracer.from_chrome(json.load(fh))
+            analyses.append(
+                (path, analyze_tracer(tracer, top_stragglers=args.top))
+            )
+    else:
+        _, app, _, result = _run_job(args)
+        analyses.append((app.name, result.analyze(top_stragglers=args.top)))
+
+    problems: list[str] = []
+    for label, analysis in analyses:
+        for problem in analysis.check():
+            problems.append(f"{label}: {problem}")
+
+    if args.json or args.out is not None:
+        payload = {
+            label: analysis.to_dict() for label, analysis in analyses
+        }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.out is not None and args.out != "-":
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"wrote analysis of {len(analyses)} run(s) to {args.out}")
+        else:
+            print(text)
+    if not args.json:
+        for label, analysis in analyses:
+            print(f"=== {label}")
+            print(render_analysis(analysis))
+            print()
+
+    if args.check and problems:
+        for problem in problems:
+            print(f"analysis check FAILED: {problem}", file=sys.stderr)
+        return 1
+    if args.check:
+        print("analysis check passed: critical path + slack tiles the "
+              "makespan")
+    return 0
+
+
+def cmd_bench_baseline(args: argparse.Namespace) -> int:
+    """Run the standard sweep and write a schema-versioned baseline."""
+    import json
+
+    from repro.obs.analyze.baseline import collect_baseline
+
+    payload = collect_baseline()
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        n = len(payload["workloads"])
+        print(f"wrote baseline ({n} workloads, schema v"
+              f"{payload['schema_version']}) to {args.out}")
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Re-run the sweep (or load --current) and gate on regressions."""
+    from repro.obs.analyze.baseline import (
+        collect_baseline,
+        compare_baselines,
+        load_baseline,
+    )
+
+    baseline = load_baseline(args.baseline)
+    if args.current is not None:
+        current = load_baseline(args.current)
+    else:
+        current = collect_baseline()
+    outcome = compare_baselines(baseline, current,
+                                tolerance=args.tolerance)
+    for name in outcome.skipped:
+        print(f"skipped: workload {name!r} in baseline but not in the "
+              "current sweep", file=sys.stderr)
+    if outcome.ok:
+        print(f"bench compare passed: {outcome.checked} metrics within "
+              f"{args.tolerance:.0%} of {args.baseline}")
+        return 0
+    for reg in outcome.regressions:
+        print(f"REGRESSION {reg.describe()}", file=sys.stderr)
+    print(f"bench compare FAILED: {len(outcome.regressions)} of "
+          f"{outcome.checked} metrics regressed beyond "
+          f"{args.tolerance:.0%}", file=sys.stderr)
+    return 1
 
 
 def cmd_trace_export(args: argparse.Namespace) -> int:
@@ -444,7 +572,62 @@ def build_parser() -> argparse.ArgumentParser:
              "(Prometheus text exposition)",
     )
     _add_run_options(metrics)
+    metrics.add_argument("--format", choices=["text", "json"],
+                         default="text",
+                         help="text: Prometheus exposition; json: "
+                              "machine-readable snapshot")
     metrics.set_defaults(func=cmd_metrics)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="post-run trace analytics: critical path, imbalance/"
+             "stragglers, scheduler-decision audit",
+    )
+    analyze.add_argument("profiles", nargs="*", metavar="PROFILE",
+                         help="saved *.trace.json profile(s) or "
+                              "directories of them; omit to run an app "
+                              "live (full analysis incl. audit + steal "
+                              "efficiency)")
+    _add_run_options(analyze)
+    analyze.add_argument("--json", action="store_true",
+                         help="emit the analysis as JSON instead of text")
+    analyze.add_argument("--out", default=None, metavar="PATH",
+                         help="write the JSON analysis to PATH "
+                              "('-' for stdout)")
+    analyze.add_argument("--top", type=int, default=3,
+                         help="stragglers to report (default 3)")
+    analyze.add_argument("--check", action="store_true",
+                         help="fail (exit 1) unless critical path + slack "
+                              "tiles the makespan within 1e-6 s")
+    analyze.set_defaults(func=cmd_analyze)
+
+    bench = sub.add_parser(
+        "bench", help="performance baselines and regression gating"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    baseline = bench_sub.add_parser(
+        "baseline",
+        help="run the standard sweep and write a schema-versioned "
+             "BENCH_*.json baseline",
+    )
+    baseline.add_argument("--out", default="BENCH_trace_analytics.json",
+                          metavar="PATH",
+                          help="baseline destination ('-' for stdout)")
+    baseline.set_defaults(func=cmd_bench_baseline)
+    compare = bench_sub.add_parser(
+        "compare",
+        help="re-run the sweep and exit non-zero on regressions vs a "
+             "baseline",
+    )
+    compare.add_argument("--baseline", required=True, metavar="PATH",
+                         help="the reference BENCH_*.json")
+    compare.add_argument("--current", default=None, metavar="PATH",
+                         help="compare this saved sweep instead of "
+                              "re-running (for testing the gate itself)")
+    compare.add_argument("--tolerance", type=float, default=0.10,
+                         help="relative slack before a metric counts as "
+                              "regressed (default 0.10)")
+    compare.set_defaults(func=cmd_bench_compare)
 
     trace = sub.add_parser("trace", help="trace/profile utilities")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)

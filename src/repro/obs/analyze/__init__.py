@@ -1,0 +1,164 @@
+"""Post-run trace analytics: why was this run exactly this long?
+
+The observability layer records *what* happened (spans, counters); this
+package explains *why*:
+
+* :mod:`~repro.obs.analyze.critical_path` — the longest dependency
+  chain through the job -> iteration -> phase -> device-block span tree,
+  with per-resource attribution and the work + slack = makespan tiling
+  invariant;
+* :mod:`~repro.obs.analyze.imbalance` — busy/idle fractions per device,
+  the "finish together" imbalance factor, straggler blocks, steal
+  efficiency;
+* :mod:`~repro.obs.analyze.audit` — the scheduler-decision log (every
+  Equation (1)-(8) split with its inputs and outputs) and the
+  predicted-vs-observed model-drift series;
+* :mod:`~repro.obs.analyze.baseline` — schema-versioned performance
+  baselines and the ``repro bench compare`` regression gate.  Imported
+  lazily by the CLI, never from here: baseline runs jobs, and the
+  runtime imports this package.
+
+:func:`analyze_run` bundles the first three for a finished
+:class:`~repro.runtime.job.JobResult`; :func:`analyze_tracer` covers
+span-only sources (profiles reloaded via ``SpanTracer.from_chrome``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.analyze.audit import (
+    SPLIT_KINDS,
+    DecisionLog,
+    DecisionRecord,
+    DriftPoint,
+    audited_decisions,
+    max_abs_drift,
+    model_drift,
+    observed_splits,
+)
+from repro.obs.analyze.critical_path import (
+    CriticalPath,
+    PathSegment,
+    critical_path,
+)
+from repro.obs.analyze.imbalance import (
+    DeviceLoad,
+    ImbalanceReport,
+    Straggler,
+    analyze_imbalance,
+    device_loads,
+    find_stragglers,
+    steal_summary,
+)
+
+__all__ = [
+    "SPLIT_KINDS",
+    "DecisionLog",
+    "DecisionRecord",
+    "DriftPoint",
+    "CriticalPath",
+    "PathSegment",
+    "DeviceLoad",
+    "ImbalanceReport",
+    "Straggler",
+    "TraceAnalysis",
+    "analyze_imbalance",
+    "analyze_run",
+    "analyze_tracer",
+    "audited_decisions",
+    "critical_path",
+    "device_loads",
+    "find_stragglers",
+    "max_abs_drift",
+    "model_drift",
+    "observed_splits",
+    "steal_summary",
+]
+
+
+@dataclass(frozen=True)
+class TraceAnalysis:
+    """The full post-run diagnosis of one finished run."""
+
+    critical_path: CriticalPath
+    imbalance: ImbalanceReport
+    drift: tuple[DriftPoint, ...]
+    decisions: tuple[dict[str, Any], ...]
+
+    @property
+    def makespan(self) -> float:
+        return self.critical_path.makespan
+
+    @property
+    def max_abs_drift(self) -> float:
+        return max_abs_drift(list(self.drift))
+
+    def check(self, tol: float = 1e-6) -> list[str]:
+        """Self-consistency problems (empty = healthy profile)."""
+        problems = []
+        gap = self.critical_path.tiling_gap
+        if gap > tol:
+            problems.append(
+                f"critical path + slack misses the makespan by {gap:.3e} s "
+                f"(tolerance {tol:.1e})"
+            )
+        for seg_a, seg_b in zip(
+            self.critical_path.segments, self.critical_path.segments[1:]
+        ):
+            if abs(seg_a.end - seg_b.start) > tol:
+                problems.append(
+                    f"critical path discontinuity at {seg_a.end:.6e}s: "
+                    f"{seg_a.name!r} -> {seg_b.name!r}"
+                )
+        return problems
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready payload (the ``analysis`` block of ``run --json``)."""
+        return {
+            "critical_path": self.critical_path.to_dict(),
+            "imbalance": self.imbalance.to_dict(),
+            "model_drift": [p.to_dict() for p in self.drift],
+            "max_abs_drift": self.max_abs_drift,
+            "decisions": list(self.decisions),
+        }
+
+
+def analyze_tracer(
+    tracer,
+    makespan: float | None = None,
+    metrics=None,
+    audit: DecisionLog | None = None,
+    top_stragglers: int = 3,
+) -> TraceAnalysis:
+    """Analyze a span tracer (live or rebuilt from a saved profile).
+
+    Without *audit* the drift series and decision list are empty —
+    exactly what a bare Chrome trace can support.
+    """
+    if audit is None:
+        audit = DecisionLog()
+    return TraceAnalysis(
+        critical_path=critical_path(tracer, makespan=makespan),
+        imbalance=analyze_imbalance(
+            tracer,
+            makespan=makespan,
+            metrics=metrics,
+            top_stragglers=top_stragglers,
+        ),
+        drift=tuple(model_drift(tracer, audit)),
+        decisions=tuple(audited_decisions(tracer, audit)),
+    )
+
+
+def analyze_run(result, top_stragglers: int = 3) -> TraceAnalysis:
+    """Analyze a finished :class:`~repro.runtime.job.JobResult`."""
+    trace = result.trace
+    return analyze_tracer(
+        trace.tracer,
+        makespan=result.makespan,
+        metrics=trace.metrics,
+        audit=trace.audit,
+        top_stragglers=top_stragglers,
+    )

@@ -1,0 +1,255 @@
+"""Critical-path extraction over a finished run's span tree.
+
+The span tracer records the full job -> iteration -> phase -> device-block
+hierarchy, but a Perfetto timeline still leaves "why was this run exactly
+this long?" to the reader.  This module answers it mechanically: starting
+from the span that finishes the job, walk backwards through the tree and,
+at every instant, charge the time to the innermost span that was the
+*last finisher* — the activity the makespan was actually waiting on.
+
+The result is a chain of :class:`PathSegment` that tiles ``[0, makespan]``
+exactly:
+
+* segments attributed to **childless** spans (device blocks, network
+  messages, leaf phases) are *work* — a real activity on the critical
+  chain;
+* segments attributed to a span that *has* children are *slack* — time
+  inside an envelope (phase, iteration, job) not covered by any child's
+  completion: dispatch overhead, barrier waits, finalize stretching.
+
+``work + slack == makespan`` is the tiling invariant
+(:meth:`CriticalPath.tiling_gap`); the acceptance bound everywhere in
+this repo is 1e-6 s, same as the phase-tiling check of
+:func:`repro.obs.check_profile`.
+
+Works on a live :class:`~repro.obs.spans.SpanTracer` or on one rebuilt
+from a Chrome export (``SpanTracer.from_chrome``), so ``repro analyze``
+can post-process saved ``*.trace.json`` profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.spans import Span, SpanTracer
+
+#: categories of the per-rank envelope spans (never leaves in a healthy run)
+ENVELOPE_CATEGORIES = frozenset({"job", "iteration", "phase"})
+
+
+@dataclass(frozen=True)
+class PathSegment:
+    """One contiguous stretch of the critical path.
+
+    ``span_id`` is ``None`` only for the synthetic pre-/post-job filler
+    segments that keep the path tiling ``[0, makespan]`` when the root
+    span does not span the whole run.
+    """
+
+    start: float
+    end: float
+    track: str
+    name: str
+    category: str
+    span_id: int | None
+    is_work: bool
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "track": self.track,
+            "name": self.name,
+            "category": self.category,
+            "span_id": self.span_id,
+            "is_work": self.is_work,
+            "duration": self.duration,
+        }
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The run's longest dependency chain, tiling ``[0, makespan]``."""
+
+    segments: tuple[PathSegment, ...]
+    makespan: float
+
+    @property
+    def work(self) -> float:
+        """Seconds of the path spent in childless (leaf) activities."""
+        return sum(s.duration for s in self.segments if s.is_work)
+
+    @property
+    def slack(self) -> float:
+        """Seconds of the path inside envelopes with no active child."""
+        return sum(s.duration for s in self.segments if not s.is_work)
+
+    @property
+    def length(self) -> float:
+        return self.work + self.slack
+
+    @property
+    def tiling_gap(self) -> float:
+        """``|makespan - (work + slack)|`` — 0 for a consistent profile."""
+        return abs(self.makespan - self.length)
+
+    def by_resource(self) -> dict[str, float]:
+        """Critical seconds per track, largest share first."""
+        totals: dict[str, float] = {}
+        for seg in self.segments:
+            totals[seg.track] = totals.get(seg.track, 0.0) + seg.duration
+        return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
+    def by_category(self) -> dict[str, float]:
+        """Critical seconds per span category, largest share first."""
+        totals: dict[str, float] = {}
+        for seg in self.segments:
+            key = seg.category or "(uncategorized)"
+            totals[key] = totals.get(key, 0.0) + seg.duration
+        return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "makespan_s": self.makespan,
+            "work_s": self.work,
+            "slack_s": self.slack,
+            "tiling_gap_s": self.tiling_gap,
+            "by_resource": self.by_resource(),
+            "by_category": self.by_category(),
+            "segments": [s.to_dict() for s in self.segments],
+        }
+
+
+def _filler(start: float, end: float, name: str) -> PathSegment:
+    return PathSegment(
+        start=start,
+        end=end,
+        track="",
+        name=name,
+        category="slack",
+        span_id=None,
+        is_work=False,
+    )
+
+
+def critical_path(
+    tracer: SpanTracer,
+    makespan: float | None = None,
+    tol: float = 1e-12,
+) -> CriticalPath:
+    """Extract the critical path of a finished run.
+
+    Parameters
+    ----------
+    tracer:
+        The span store; still-open spans are ignored (analyze finished
+        runs — ``Trace.finalize`` closes everything).
+    makespan:
+        The job makespan.  Defaults to the latest span end, which is what
+        a saved profile knows.
+    tol:
+        Slop for float comparisons while walking; segments shorter than
+        *tol* are dropped (the tiling error this introduces is bounded by
+        ``n_segments * tol``, far inside the 1e-6 acceptance bound).
+    """
+    spans = [s for s in tracer.spans if s.end is not None]
+    if makespan is None:
+        makespan = max((s.end for s in spans), default=0.0)
+    if not spans:
+        segs = (
+            (_filler(0.0, makespan, "(empty trace)"),) if makespan > 0 else ()
+        )
+        return CriticalPath(segs, makespan)
+
+    by_id = {s.span_id: s for s in spans}
+    children: dict[int, list[Span]] = {}
+    roots: list[Span] = []
+    for s in spans:
+        if s.parent_id is not None and s.parent_id in by_id:
+            children.setdefault(s.parent_id, []).append(s)
+        else:
+            roots.append(s)
+
+    def active_end(span: Span) -> float:
+        """Latest end among childless descendants — the *real* finish
+        time, immune to ``finalize`` stretching every open envelope to
+        the same instant."""
+        kids = children.get(span.span_id)
+        if not kids:
+            return span.end  # type: ignore[return-value]
+        return max(active_end(c) for c in kids)
+
+    # The critical root is the span the job genuinely ended in: latest
+    # end, ties broken by the latest real (leaf) finish, then by track
+    # name for determinism.
+    root = max(roots, key=lambda s: (s.end, active_end(s), s.track))
+
+    segments: list[PathSegment] = []
+
+    def emit(span: Span, lo: float, hi: float, is_work: bool) -> None:
+        if hi - lo > tol:
+            segments.append(
+                PathSegment(
+                    start=lo,
+                    end=hi,
+                    track=span.track,
+                    name=span.name,
+                    category=span.category,
+                    span_id=span.span_id,
+                    is_work=is_work,
+                )
+            )
+
+    def walk(span: Span, lo: float, hi: float) -> None:
+        """Cover ``[lo, hi]`` of *span* with critical segments, walking
+        backwards from *hi* and always following the last finisher."""
+        kids = children.get(span.span_id)
+        if not kids:
+            emit(span, lo, hi, True)
+            return
+        t = hi
+        while t - lo > tol:
+            best: Span | None = None
+            for c in kids:
+                # A candidate must end inside (lo, t] AND move the cursor
+                # strictly backwards — a zero-length child sitting exactly
+                # at t (empty phases exist) can never make progress.
+                if (
+                    c.end <= t + tol
+                    and c.end - lo > tol
+                    and max(c.start, lo) < t - tol
+                ):
+                    if best is None or (c.end, c.start, c.span_id) > (
+                        best.end,
+                        best.start,
+                        best.span_id,
+                    ):
+                        best = c
+            if best is None:
+                # No child finishes inside [lo, t]: the envelope itself
+                # owns the remainder (dispatch, waiting, setup).
+                emit(span, lo, t, False)
+                return
+            child_end = min(best.end, t)  # type: ignore[arg-type]
+            emit(span, child_end, t, False)
+            child_start = max(best.start, lo)
+            walk(best, child_start, child_end)
+            t = child_start
+
+    walk(root, root.start, root.end)  # type: ignore[arg-type]
+
+    # Keep the path tiling [0, makespan] even when the root does not.
+    if root.start > tol:
+        segments.append(_filler(0.0, root.start, "(before job)"))
+    if makespan - root.end > tol:  # type: ignore[operator]
+        segments.insert(
+            0, _filler(root.end, makespan, "(after job)")  # type: ignore[arg-type]
+        )
+
+    segments.reverse()  # walked backwards; present chronologically
+    return CriticalPath(tuple(segments), makespan)

@@ -237,6 +237,18 @@ class JobResult:
         require_positive_int("n_nodes", n_nodes)
         return self.gflops / n_nodes
 
+    def analyze(self, top_stragglers: int = 3):
+        """Run the post-run trace analytics over this result: critical
+        path, imbalance/straggler diagnosis, and the scheduler-decision
+        audit with its model-drift series.  Returns a
+        :class:`repro.obs.analyze.TraceAnalysis`.
+        """
+        # Deferred import: obs.analyze is a pure consumer of this module's
+        # results and must stay importable without the runtime.
+        from repro.obs.analyze import analyze_run
+
+        return analyze_run(self, top_stragglers=top_stragglers)
+
     def device_fraction(self, device_substr: str) -> float:
         """Fraction of executed flops attributed to devices whose trace
         name contains *device_substr* (e.g. ``"cpu"``) — the measured

@@ -291,7 +291,10 @@ class ConvergencePhase(Phase):
                 ctx.recovery.save(ctx.iteration + 1, ctx.app.checkpoint())
                 ctx.trace.metrics.counter(obs.RECOVERY_CHECKPOINTS).inc()
         # Feedback point: the node's policy may refit its split from the
-        # observed metrics before the next iteration.
+        # observed metrics before the next iteration.  Decisions taken
+        # from here on (including fault refits next iteration) are
+        # audited against this iteration index.
+        ctx.sched.current_iteration = ctx.iteration
         ctx.sched.policy.on_iteration_end(ctx.iteration)
         if ctx.iterative:
             ctx.stop = yield from ctx.comm.bcast(

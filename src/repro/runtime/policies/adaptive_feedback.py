@@ -112,3 +112,21 @@ class AdaptiveFeedbackPolicy(StaticPolicy):
         self.metrics.gauge(obs.POLICY_CPU_FRACTION).set(
             self._p, policy=self.name, node=node.name
         )
+        outputs = {"p": self._p}
+        outputs.update(sched.gpu_knobs(self._p))
+        self.record_decision(
+            "adaptive-refit",
+            iteration,
+            inputs={
+                "cpu_intensity": a_c,
+                "gpu_intensity": a_g,
+                "partition_bytes": nbytes,
+                "observed_cpu_rate_gflops": cpu_rate,
+                "observed_gpu_rate_gflops": gpu_rate,
+                "window_cpu_flops": cpu_flops,
+                "window_gpu_flops": gpu_flops,
+                "model_cpu_rate_gflops": decision.cpu_rate,
+                "model_gpu_rate_gflops": decision.gpu_rate,
+            },
+            outputs=outputs,
+        )

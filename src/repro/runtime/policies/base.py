@@ -55,6 +55,44 @@ class SchedulingPolicy(abc.ABC):
             1, policy=self.name, device=device_name
         )
 
+    def record_decision(
+        self,
+        kind: str,
+        iteration: int,
+        inputs: dict[str, Any],
+        outputs: dict[str, Any],
+    ) -> None:
+        """Append one policy decision to the trace's audit log (pure
+        bookkeeping: never perturbs the simulated schedule)."""
+        sched = self.sched
+        sched.trace.audit.record(
+            kind,
+            node=sched.res.node.name,
+            time=sched.res.engine.now,
+            iteration=iteration,
+            inputs=inputs,
+            outputs=outputs,
+        )
+
+    def record_block_plan(self, partition: Block, n_blocks: int) -> None:
+        """Audit the polling block plan once per node (the count is
+        derived from the nominal device set, so it never changes between
+        partitions or iterations)."""
+        if getattr(self, "_block_plan_audited", False):
+            return
+        self._block_plan_audited = True
+        sched = self.sched
+        self.record_decision(
+            "block-plan",
+            sched.current_iteration,
+            inputs={
+                "partition_items": partition.n_items,
+                "partition_bytes": sched.app.block_bytes(partition),
+                "configured_blocks": sched.config.dynamic_blocks,
+            },
+            outputs={"n_blocks": n_blocks},
+        )
+
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def run_map_partition(

@@ -82,6 +82,7 @@ class DynamicPolicy(SchedulingPolicy):
         sched = self.sched
         engine = sched.res.engine
         n_blocks = dynamic_block_count(sched, partition)
+        self.record_block_plan(partition, n_blocks)
         queue: deque[Block] = deque(
             partition.split(min(n_blocks, partition.n_items))
         )

@@ -38,6 +38,7 @@ class LocalityDynamicPolicy(SchedulingPolicy):
         sched = self.sched
         engine = sched.res.engine
         n_blocks = dynamic_block_count(sched, partition)
+        self.record_block_plan(partition, n_blocks)
         queue: list[Block] = list(
             partition.split(min(n_blocks, partition.n_items))
         )

@@ -39,6 +39,34 @@ class StaticPolicy(SchedulingPolicy):
         """
         return self.sched.device_weights(nominal=True)
 
+    def _audit_granularity(self, daemon, gpu_part: Block, plan) -> None:
+        """Audit each GPU daemon's §III.B.3b granularity plan once (the
+        plan depends only on the partition geometry, which is nominal and
+        therefore constant across iterations)."""
+        audited: set[str] = getattr(self, "_granularity_audited", set())
+        if daemon.device_name in audited:
+            return
+        audited.add(daemon.device_name)
+        self._granularity_audited = audited
+        sched = self.sched
+        self.record_decision(
+            "granularity-plan",
+            sched.current_iteration,
+            inputs={
+                "device": daemon.device_name,
+                "block_bytes": sched.app.block_bytes(gpu_part),
+                "overlap_threshold": sched.config.overlap_threshold,
+                "cpu_block_multiplier": sched.config.cpu_block_multiplier,
+            },
+            outputs={
+                "cpu_blocks": plan.cpu_blocks,
+                "gpu_blocks": plan.gpu_blocks,
+                "use_streams": plan.use_streams,
+                "op": plan.overlap,
+                "minbs_bytes": plan.min_block_bytes,
+            },
+        )
+
     def run_map_partition(
         self, partition: Block, sink: list[KeyValue]
     ) -> Generator[Event, Any, None]:
@@ -88,6 +116,7 @@ class StaticPolicy(SchedulingPolicy):
                 cpu_multiplier=sched.config.cpu_block_multiplier,
                 overlap_threshold=sched.config.overlap_threshold,
             )
+            self._audit_granularity(daemon, gpu_part, plan)
             blocks = gpu_part.split(min(plan.gpu_blocks, gpu_part.n_items))
             if sched.daemon_active(daemon):
                 self.count_dispatch(daemon.device_name, len(blocks))

@@ -31,6 +31,7 @@ from typing import Any, Generator
 
 from repro import obs
 from repro.core.analytic import SplitDecision, multi_device_split, workload_split
+from repro.core.granularity import min_block_size, overlap_percentage
 from repro.runtime.api import Block, MapReduceApp
 from repro.runtime.daemons import CpuDaemon, GpuDaemon, NodeResources
 from repro.runtime.job import JobConfig
@@ -113,6 +114,12 @@ class SubTaskScheduler:
         self._failed_blocks: list[Block] = []
         self._retry_counts: dict[tuple[int, int], int] = {}
 
+        #: driver iteration currently deciding (updated by the phase
+        #: pipeline at each feedback point; -1 = construction time).
+        #: Audit records carry it so the drift series can pair each
+        #: decision with the iterations it governed.
+        self.current_iteration = -1
+
         self.split_decision = self._decide_split()
         #: construction-time split over the nominal device set.  Policies
         #: chop partitions with this, *never* the refit decision: block
@@ -124,6 +131,7 @@ class SubTaskScheduler:
             trace.metrics.gauge(obs.SPLIT_CPU_FRACTION).set(
                 self.split_decision.p, node=node.name
             )
+        self._audit_split("static-split")
         self.policy: SchedulingPolicy = get_policy(config.policy_name)(self)
 
     # ------------------------------------------------------------------
@@ -214,6 +222,62 @@ class SubTaskScheduler:
             self.trace.metrics.gauge(obs.SPLIT_CPU_FRACTION).set(
                 self.split_decision.p, node=self.res.node.name
             )
+        self._audit_split("recovery-refit")
+
+    # ------------------------------------------------------------------
+    # Decision audit
+    # ------------------------------------------------------------------
+    def gpu_knobs(self, p: float) -> dict[str, Any]:
+        """The Equation (11)/(9) GPU knobs for the GPU share of split *p*:
+        ``minbs_bytes`` (``None`` when the peak is unreachable at any
+        block size) and the overlap percentage ``op``."""
+        gpus = self.active_gpu_daemons or self.gpu_daemons
+        if not gpus:
+            return {"minbs_bytes": None, "op": None}
+        gpu = gpus[0].gpu
+        profile = self.app.gpu_intensity()
+        gpu_bytes = max(max(self.app.total_bytes(), 1.0) * (1.0 - p), 1.0)
+        try:
+            minbs: float | None = min_block_size(gpu, profile)
+        except ValueError:
+            minbs = None
+        return {
+            "minbs_bytes": minbs,
+            "op": overlap_percentage(gpu, profile, gpu_bytes),
+        }
+
+    def _audit_split(self, kind: str) -> None:
+        """Append the current Equation (8) decision — inputs and outputs —
+        to the trace's audit log.  Pure bookkeeping: no simulated events,
+        so audited and unaudited schedules are bit-identical."""
+        decision = self.split_decision
+        if decision is None:
+            return
+        app = self.app
+        nbytes = max(app.total_bytes(), 1.0)
+        outputs: dict[str, Any] = {
+            "p": decision.p,
+            "regime": decision.regime.value,
+        }
+        outputs.update(self.gpu_knobs(decision.p))
+        self.trace.audit.record(
+            kind,
+            node=self.res.node.name,
+            time=self.res.engine.now,
+            iteration=self.current_iteration,
+            inputs={
+                "cpu_intensity": app.intensity().at(nbytes),
+                "gpu_intensity": app.gpu_intensity().at(nbytes),
+                "staged": not app.iterative,
+                "partition_bytes": nbytes,
+                "cpu_rate_gflops": decision.cpu_rate,
+                "gpu_rate_gflops": decision.gpu_rate,
+                "cpu_ridge": decision.cpu_ridge,
+                "gpu_ridge": decision.gpu_ridge,
+                "forced_p": self.config.force_cpu_fraction,
+            },
+            outputs=outputs,
+        )
 
     # ------------------------------------------------------------------
     def _decide_split(self) -> SplitDecision | None:

@@ -39,6 +39,7 @@ from repro.obs import (
     Span,
     SpanTracer,
 )
+from repro.obs.analyze.audit import DecisionLog
 
 
 @dataclass(frozen=True)
@@ -107,6 +108,9 @@ class Trace:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: the run's hierarchical span store
         self.tracer = tracer if tracer is not None else SpanTracer()
+        #: the run's scheduler-decision audit log (pure bookkeeping:
+        #: appending records never perturbs the simulated schedule)
+        self.audit = DecisionLog()
         self._busy_union: dict[str, IntervalUnion] = {}
         self._device_rank: dict[str, int] = {}
         self._open_phase: dict[int, Span] = {}

@@ -231,6 +231,41 @@ class TestIntervalUnion:
         with pytest.raises(ValueError, match="precedes"):
             u.add(2.0, 1.0)
 
+    def test_zero_length_inside_existing_coverage(self):
+        u = IntervalUnion()
+        u.add(0.0, 4.0)
+        assert u.add(2.0, 2.0) == 0.0
+        assert u.add(4.0, 4.0) == 0.0  # exactly at the right edge
+        assert u.intervals() == [(0.0, 4.0)]
+
+    def test_abutting_chain_collapses_to_one_interval(self):
+        u = IntervalUnion()
+        for i in range(10):
+            assert u.add(float(i), float(i + 1)) == pytest.approx(1.0)
+        assert len(u) == 1
+        assert u.intervals() == [(0.0, 10.0)]
+        assert u.total == pytest.approx(10.0)
+
+    def test_abutting_on_both_sides_bridges_neighbours(self):
+        u = IntervalUnion()
+        u.add(0.0, 1.0)
+        u.add(2.0, 3.0)
+        # touches both neighbours exactly: one merged interval, only
+        # the gap is newly covered
+        assert u.add(1.0, 2.0) == pytest.approx(1.0)
+        assert u.intervals() == [(0.0, 3.0)]
+
+    def test_overlapping_merge_reduces_interval_count(self):
+        u = IntervalUnion()
+        u.add(0.0, 1.0)
+        u.add(2.0, 3.0)
+        u.add(4.0, 5.0)
+        assert len(u) == 3
+        # spans the interior intervals entirely
+        assert u.add(0.5, 4.5) == pytest.approx(2.0)
+        assert len(u) == 1
+        assert u.total == pytest.approx(5.0)
+
     def test_matches_brute_force_union(self):
         rng = random.Random(42)
         u = IntervalUnion()

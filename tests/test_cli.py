@@ -156,6 +156,21 @@ class TestMetricsCommand:
         assert 'prs_policy_blocks_dispatched_total{' in out
         assert "prs_job_makespan_seconds" in out
 
+    def test_json_format(self, capsys):
+        import json
+
+        code = main([
+            "metrics", "--app", "cmeans", "--size", "1000", "--nodes", "1",
+            "--iterations", "2", "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "prs_device_flops_total" in payload
+        assert "prs_job_makespan_seconds" in payload
+        assert all(
+            isinstance(entries, list) for entries in payload.values()
+        )
+
 
 class TestTraceExport:
     RUN = [
@@ -247,3 +262,121 @@ class TestRunPolicyFlag:
         out = capsys.readouterr().out
         assert "phase breakdown" in out
         assert "policy            : static" in out
+
+
+class TestAnalyzeCommand:
+    RUN = [
+        "analyze", "--app", "cmeans", "--size", "2000", "--nodes", "2",
+        "--iterations", "3",
+    ]
+
+    def test_live_run_text_output(self, capsys):
+        assert main(self.RUN) == 0
+        out = capsys.readouterr().out
+        assert "critical path (what the makespan was waiting on):" in out
+        assert "tiling gap" in out
+        assert "top stragglers" in out
+        assert "model drift" in out
+
+    def test_check_passes_on_live_run(self, capsys):
+        assert main(self.RUN + ["--check"]) == 0
+        out = capsys.readouterr().out
+        assert "analysis check passed" in out
+
+    def test_json_payload(self, capsys):
+        import json
+
+        assert main(self.RUN + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (analysis,) = payload.values()
+        assert analysis["critical_path"]["tiling_gap_s"] <= 1e-6
+        assert analysis["decisions"]
+        assert analysis["imbalance"]["devices"]
+
+    def test_saved_profile_analysis(self, capsys, tmp_path):
+        target = tmp_path / "run.trace.json"
+        assert main([
+            "trace", "export", "--app", "cmeans", "--size", "1000",
+            "--nodes", "2", "--iterations", "2", "--out", str(target),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(target), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert f"=== {target}" in out
+        assert "analysis check passed" in out
+
+    def test_directory_of_profiles(self, capsys, tmp_path):
+        target = tmp_path / "a.trace.json"
+        assert main([
+            "trace", "export", "--app", "cmeans", "--size", "1000",
+            "--nodes", "2", "--iterations", "2", "--out", str(target),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(tmp_path)]) == 0
+        assert "critical path" in capsys.readouterr().out
+
+    def test_missing_profile_exits(self):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["analyze", "/nonexistent/thing.trace.json"])
+
+
+class TestBenchCommands:
+    def test_baseline_then_compare_round_trip(self, capsys, tmp_path):
+        import json
+
+        base = tmp_path / "base.json"
+        assert main(["bench", "baseline", "--out", str(base)]) == 0
+        assert "wrote baseline" in capsys.readouterr().out
+
+        payload = json.loads(base.read_text())
+        assert payload["schema_version"] == 1
+        assert "cmeans-static" in payload["workloads"]
+
+        # self-compare via --current: no sweep re-run, must pass
+        assert main([
+            "bench", "compare", "--baseline", str(base),
+            "--current", str(base), "--tolerance", "0.01",
+        ]) == 0
+        assert "bench compare passed" in capsys.readouterr().out
+
+        # synthetic 2x slowdown: halve every baseline makespan so the
+        # same current sweep looks twice as slow
+        doctored = json.loads(base.read_text())
+        for workload in doctored["workloads"].values():
+            workload["metrics"]["makespan_s"] /= 2.0
+        bad = tmp_path / "doctored.json"
+        bad.write_text(json.dumps(doctored))
+        assert main([
+            "bench", "compare", "--baseline", str(bad),
+            "--current", str(base), "--tolerance", "0.25",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err
+        assert "bench compare FAILED" in err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["bench"])
+
+
+class TestRunAnalysisSurface:
+    RUN = [
+        "run", "--app", "cmeans", "--size", "2000", "--nodes", "2",
+        "--iterations", "3",
+    ]
+
+    def test_json_includes_analysis_block(self, capsys):
+        import json
+
+        assert main(self.RUN + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        analysis = payload["analysis"]
+        assert analysis["critical_path"]["tiling_gap_s"] <= 1e-6
+        assert analysis["model_drift"] is not None
+
+    def test_report_includes_critical_path_and_stragglers(self, capsys):
+        assert main(self.RUN + ["--report"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path (what the makespan was waiting on):" in out
+        assert "top stragglers" in out
+        assert "model drift" in out
