@@ -66,10 +66,87 @@ def render_profile_summary(result: JobResult) -> str:
     return "\n".join(lines)
 
 
-def render_analysis(analysis, top_resources: int = 4) -> str:
+def render_comm(analysis, top_pairs: int = 8) -> str:
+    """Text view of the communication graph of one analyzed run: who
+    talked to whom (comm matrix), how busy each link was, and what the
+    critical path's slack was actually waiting on."""
+    comm = analysis.comm
+    if comm is None or len(comm) == 0:
+        return "communication   : no matched message spans in this profile"
+    cp = analysis.critical_path
+    makespan = cp.makespan or 1.0
+    lines = [
+        "communication (matched send/recv message spans):",
+        f"  messages        : {len(comm)} ({len(comm.edges())} paired, "
+        f"{comm.total_retransmits} retransmit(s), "
+        f"{len(comm.timeout_span_ids)} timeout(s))",
+        f"  volume          : {comm.total_bytes / 1e6:.3f} MB",
+    ]
+    decomp = cp.slack_decomposition()
+    slack = cp.slack or 1.0
+    lines.append(
+        f"  path waits on   : sender {decomp['sender'] * 1e3:.3f} ms "
+        f"({decomp['sender'] / slack:.0%}), "
+        f"network {decomp['network'] * 1e3:.3f} ms "
+        f"({decomp['network'] / slack:.0%}), "
+        f"compute {decomp['compute'] * 1e3:.3f} ms "
+        f"({decomp['compute'] / slack:.0%}) "
+        f"[{cp.message_hops} message hop(s) on the path]"
+    )
+    sections = ["\n".join(lines)]
+
+    matrix = sorted(
+        comm.matrix().items(), key=lambda kv: -kv[1]["bytes"]
+    )
+    rows = [
+        [
+            f"r{src}", f"r{dst}", tagc,
+            str(int(cell["messages"])),
+            f"{cell['bytes'] / 1e3:.1f} kB",
+        ]
+        for (src, dst, tagc), cell in matrix[:top_pairs]
+    ]
+    title = "comm matrix (src x dst x tag class, by volume):"
+    if len(matrix) > top_pairs:
+        title = (
+            f"comm matrix (top {top_pairs} of {len(matrix)} pairs "
+            "by volume):"
+        )
+    sections.append(
+        format_table(["src", "dst", "tag", "msgs", "bytes"], rows,
+                     title=title)
+    )
+
+    links = comm.link_timeline()
+    if links:
+        link_rows = [
+            [
+                f"n{u.src_node}->n{u.dst_node}",
+                f"{u.busy_s * 1e3:.3f} ms",
+                f"{u.utilization(makespan):.1%}",
+                str(u.messages),
+                f"{u.nbytes / 1e3:.1f} kB",
+                (f"{u.busy_s / u.pred_s:.2f}x" if u.pred_s > 0 else "-"),
+            ]
+            for u in links[:top_pairs]
+        ]
+        sections.append(
+            format_table(
+                ["link", "busy", "util", "msgs", "bytes", "vs model"],
+                link_rows,
+                title="link utilization (overlap-merged send intervals; "
+                      "'vs model' = busy over alpha/beta prediction):",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def render_analysis(analysis, top_resources: int = 4, comm: bool = False) -> str:
     """Compact text view of a :class:`repro.obs.analyze.TraceAnalysis`:
     where the makespan went (critical path), who was slow (stragglers),
-    and how far reality drifted from the Equation (8) prediction."""
+    and how far reality drifted from the Equation (8) prediction.  With
+    *comm* the communication section (matrix, links, slack attribution)
+    is appended — see :func:`render_comm`."""
     cp = analysis.critical_path
     lines = [
         "critical path (what the makespan was waiting on):",
@@ -86,6 +163,8 @@ def render_analysis(analysis, top_resources: int = 4) -> str:
         )
         lines.append(f"  critical share  : {shares}")
     sections = ["\n".join(lines)]
+    if comm:
+        sections.append(render_comm(analysis))
 
     if analysis.imbalance.stragglers:
         rows = [
@@ -236,8 +315,8 @@ def render_report(
     # ---- profile reconciliation -----------------------------------------
     sections.append(render_profile_summary(result))
 
-    # ---- trace analytics -------------------------------------------------
-    sections.append(render_analysis(result.analyze()))
+    # ---- trace analytics (incl. the comm graph section) ------------------
+    sections.append(render_analysis(result.analyze(), comm=True))
 
     # ---- iterations -------------------------------------------------------
     log = result.iteration_log

@@ -387,7 +387,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if not args.json:
         for label, analysis in analyses:
             print(f"=== {label}")
-            print(render_analysis(analysis))
+            print(render_analysis(analysis, comm=args.comm))
             print()
 
     if args.check and problems:
@@ -396,7 +396,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         return 1
     if args.check:
         print("analysis check passed: critical path + slack tiles the "
-              "makespan")
+              "makespan, slack decomposition sums, message spans pair 1:1")
     return 0
 
 
@@ -596,9 +596,16 @@ def build_parser() -> argparse.ArgumentParser:
                               "('-' for stdout)")
     analyze.add_argument("--top", type=int, default=3,
                          help="stragglers to report (default 3)")
+    analyze.add_argument("--comm", action="store_true",
+                         help="include the communication section: comm "
+                              "matrix, link utilization, and the "
+                              "sender/network/compute slack attribution "
+                              "of the critical path")
     analyze.add_argument("--check", action="store_true",
                          help="fail (exit 1) unless critical path + slack "
-                              "tiles the makespan within 1e-6 s")
+                              "tiles the makespan within 1e-6 s, the "
+                              "slack decomposition sums to total slack, "
+                              "and send/recv spans pair 1:1")
     analyze.set_defaults(func=cmd_analyze)
 
     bench = sub.add_parser(

@@ -24,6 +24,7 @@ received arrays as read-only.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
 import numpy as np
@@ -40,6 +41,46 @@ _DEFAULT_OBJECT_BYTES = 64.0
 
 #: Reserved tag for the heartbeat/ack layer (outside app and collective tags).
 HEARTBEAT_TAG = -777
+
+
+def describe_tag(tag: int) -> str:
+    """Human-readable class of a message tag.
+
+    Tags encode their origin by range (see :mod:`repro.runtime.phases`
+    for the runtime's conventions); the class is what the comm matrix and
+    the per-pair Prometheus series label traffic with, keeping label
+    cardinality bounded while per-iteration tags stay unique for
+    non-overtaking delivery.
+    """
+    if tag == HEARTBEAT_TAG:
+        return "heartbeat"
+    if tag >= 100_000:
+        return "shuffle"
+    if 4000 <= tag < 100_000:
+        return "stop"
+    if 3000 <= tag < 4000:
+        return "gather"
+    if 1000 <= tag < 3000:
+        return "state"
+    if tag < 0:
+        return "collective"
+    return "p2p"
+
+
+@dataclass
+class _Envelope:
+    """In-flight message metadata riding the mailbox with the payload."""
+
+    payload: Any
+    msg_id: int
+    src: int
+    dest: int
+    tag: int
+    nbytes: float
+    sent_at: float
+    visible_at: float
+    retransmits: int = 0
+    delay_s: float = 0.0
 
 
 class CommTimeout(RuntimeError):
@@ -148,6 +189,9 @@ class World:
         #: aggregate message accounting for reports
         self.messages_sent = 0
         self.bytes_sent = 0.0
+        #: next message id — unique per delivered message within a world,
+        #: stamped on the paired send/recv spans so exports can link them
+        self._next_msg_id = 1
         #: fault-tolerance wiring (None/absent in fault-free runs); set via
         #: :meth:`attach_faults` by the driver.
         self.faults = None
@@ -234,12 +278,14 @@ class RankComm:
         if not 0 <= dest < self.size:
             raise ValueError(f"dest {dest} out of range")
         nbytes = payload_nbytes(payload)
-        start = self.engine.now
+        first_start = self.engine.now
+        start = first_start
         world = self.world
         faults = world.faults
         src_node = world.node_of(self.rank)
         dest_node = world.node_of(dest)
         same_node = src_node == dest_node
+        retransmits = 0
         while True:
             if not same_node:
                 if world.contended:
@@ -258,6 +304,7 @@ class RankComm:
             ):
                 # The message was lost in flight: wait out the retransmit
                 # timer and pay the wire again.
+                retransmits += 1
                 if world.trace is not None:
                     world.trace.metrics.counter(obs.COMM_RETRANSMITS).inc(
                         1, src=f"r{self.rank}"
@@ -266,30 +313,73 @@ class RankComm:
                 start = self.engine.now
                 continue
             break
+        delay_s = 0.0
         if faults is not None and not same_node:
-            extra = faults.msg_delay(src_node, dest_node, start)
-            if extra > 0:
-                yield self.engine.timeout(extra)
-        if self.world.trace is not None:
-            self.world.trace.record(
+            delay_s = faults.msg_delay(src_node, dest_node, start)
+            if delay_s > 0:
+                yield self.engine.timeout(delay_s)
+        trace = world.trace
+        msg_id = (
+            trace.next_msg_id() if trace is not None else world._next_msg_id
+        )
+        world._next_msg_id += 1
+        link = "local" if same_node else "remote"
+        if trace is not None:
+            # One send span per *delivered* message, covering the whole
+            # delivery effort (retransmit timers and fault delays
+            # included), so its end is the instant the payload becomes
+            # visible at the destination.  The matched receive span
+            # carries the same msg_id.
+            attrs: dict[str, Any] = {
+                "msg_id": msg_id,
+                "src": self.rank,
+                "dst": dest,
+                "src_node": src_node,
+                "dst_node": dest_node,
+                "tag": tag,
+                "tagc": describe_tag(tag),
+                "link": link,
+                # Fault-free analytic wire time (NetworkModel.p2p): the
+                # observed-vs-predicted ratio exposes contention,
+                # degradation windows, and retransmit storms per message.
+                "pred_s": world.wire_time(self.rank, dest, nbytes),
+            }
+            if retransmits:
+                attrs["retransmits"] = retransmits
+            if delay_s > 0:
+                attrs["delay_s"] = delay_s
+            trace.record(
                 f"msg r{self.rank}->r{dest} t{tag}",
                 f"net.r{self.rank}",
                 "net",
-                start,
+                first_start,
                 self.engine.now,
                 nbytes=nbytes,
+                attrs=attrs,
             )
-            metrics = self.world.trace.metrics
-            link = "local" if same_node else "remote"
-            metrics.counter(obs.COMM_MESSAGES).inc(
-                1, src=f"r{self.rank}", link=link
+            metrics = trace.metrics
+            labels = dict(
+                src=f"r{self.rank}", dst=f"r{dest}", tag=describe_tag(tag),
+                link=link,
             )
-            metrics.counter(obs.COMM_BYTES).inc(
-                nbytes, src=f"r{self.rank}", link=link
+            metrics.counter(obs.COMM_MESSAGES).inc(1, **labels)
+            metrics.counter(obs.COMM_BYTES).inc(nbytes, **labels)
+        world.messages_sent += 1
+        world.bytes_sent += nbytes
+        world._mailbox(dest, self.rank, tag).put(
+            _Envelope(
+                payload=payload,
+                msg_id=msg_id,
+                src=self.rank,
+                dest=dest,
+                tag=tag,
+                nbytes=nbytes,
+                sent_at=first_start,
+                visible_at=self.engine.now,
+                retransmits=retransmits,
+                delay_s=delay_s,
             )
-        self.world.messages_sent += 1
-        self.world.bytes_sent += nbytes
-        self.world._mailbox(dest, self.rank, tag).put(payload)
+        )
 
     def recv(
         self, source: int, tag: int = 0, timeout: float | None = None
@@ -309,6 +399,7 @@ class RankComm:
         abort = world.abort_event
         wait_limit = timeout if timeout is not None else world.comm_timeout
         key = (self.rank, source, tag)
+        entered = self.engine.now
         world._blocked[key] = world._blocked.get(key, 0) + 1
         try:
             if abort is None and wait_limit is None:
@@ -319,7 +410,7 @@ class RankComm:
                     if not get_evt.triggered:
                         box.cancel(get_evt)
                     raise
-                return payload
+                return self._finish_recv(payload, tag, entered)
             get_evt = box.get()
             races: list[Event] = [get_evt]
             timer: Event | None = None
@@ -335,17 +426,31 @@ class RankComm:
                     box.cancel(get_evt)
                 raise
             if races[index] is get_evt:
-                return value
+                return self._finish_recv(value, tag, entered)
             if get_evt.triggered:
                 # Message and timeout/abort landed at the same instant:
                 # the data wins (matches MPI, where a matched recv
                 # completes).
-                return get_evt.value
+                return self._finish_recv(get_evt.value, tag, entered)
             box.cancel(get_evt)
             if timer is not None and races[index] is timer:
                 if world.trace is not None:
                     world.trace.metrics.counter(obs.COMM_TIMEOUTS).inc(
                         1, rank=f"r{self.rank}"
+                    )
+                    world.trace.record_recv(
+                        f"recv r{source}->r{self.rank} t{tag} timeout",
+                        f"net.r{self.rank}",
+                        entered,
+                        self.engine.now,
+                        attrs={
+                            "src": source,
+                            "dst": self.rank,
+                            "tag": tag,
+                            "tagc": describe_tag(tag),
+                            "timeout": True,
+                            "wait_s": self.engine.now - entered,
+                        },
                     )
                 raise CommTimeout(self.rank, source, tag, wait_limit)
             raise EpochAborted(abort.value if abort is not None else None)
@@ -355,6 +460,45 @@ class RankComm:
                 world._blocked[key] = remaining
             else:
                 world._blocked.pop(key, None)
+
+    def _finish_recv(self, raw: Any, tag: int, entered: float) -> Any:
+        """Unwrap a mailbox item, recording the paired ``recv`` span.
+
+        The span covers the receiver's actual wait (call entry to message
+        arrival) and carries the sender's ``msg_id`` so analysis can pair
+        it 1:1 with the matching send span.  It is bookkeeping only —
+        tracer-level, never a :class:`~repro.simulate.trace.TaskRecord` —
+        so busy-time counters, utilization, and schedules are untouched.
+        """
+        if not isinstance(raw, _Envelope):
+            return raw
+        world = self.world
+        if world.trace is not None:
+            now = self.engine.now
+            attrs: dict[str, Any] = {
+                "msg_id": raw.msg_id,
+                "src": raw.src,
+                "dst": self.rank,
+                "src_node": world.node_of(raw.src),
+                "dst_node": world.node_of(self.rank),
+                "tag": tag,
+                "tagc": describe_tag(tag),
+                "nbytes": raw.nbytes,
+                "sent_at": raw.sent_at,
+                "wait_s": now - entered,
+            }
+            if raw.retransmits:
+                attrs["retransmits"] = raw.retransmits
+            if raw.delay_s > 0:
+                attrs["delay_s"] = raw.delay_s
+            world.trace.record_recv(
+                f"recv r{raw.src}->r{self.rank} t{tag}",
+                f"net.r{self.rank}",
+                entered,
+                now,
+                attrs=attrs,
+            )
+        return raw.payload
 
     # ------------------------------------------------------------------
     # Collectives (binomial trees rooted at *root*)

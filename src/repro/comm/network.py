@@ -66,6 +66,20 @@ class NetworkModel:
             nbytes_per_rank * ranks, ranks
         )
 
+    def alltoall(self, nbytes_per_pair: float, ranks: int) -> float:
+        """Pairwise-exchange personalized all-to-all (the PRS shuffle).
+
+        The simulated communicator pairs rank ``i`` with ``i XOR r`` over
+        ``P-1`` rounds (padded to the next power of two; out-of-range
+        partners idle), exchanging one per-destination bucket each round
+        — so the closed form is ``P-1`` point-to-point costs of the
+        average bucket.  Used by the comm-trace tests to cross-check the
+        per-link busy time the message spans actually accumulate.
+        """
+        require_nonnegative("nbytes_per_pair", nbytes_per_pair)
+        require_positive_int("ranks", ranks)
+        return (ranks - 1) * self.p2p(nbytes_per_pair)
+
     def barrier(self, ranks: int) -> float:
         """Zero-byte allreduce."""
         return self.allreduce(0.0, ranks)

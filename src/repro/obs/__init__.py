@@ -57,6 +57,7 @@ from repro.obs.metrics import (
     REGION_CAPACITY_BYTES,
     REGION_OBJECT_ALLOCS,
     REGION_RESETS,
+    SHUFFLE_BYTES,
     SHUFFLE_PAIRS,
     SPLIT_CPU_FRACTION,
     Counter,
@@ -111,6 +112,7 @@ __all__ = [
     "REGION_CAPACITY_BYTES",
     "REGION_OBJECT_ALLOCS",
     "REGION_RESETS",
+    "SHUFFLE_BYTES",
     "SHUFFLE_PAIRS",
     "SPLIT_CPU_FRACTION",
 ]

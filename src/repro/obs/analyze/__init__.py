@@ -7,6 +7,11 @@ package explains *why*:
   chain through the job -> iteration -> phase -> device-block span tree,
   with per-resource attribution and the work + slack = makespan tiling
   invariant;
+* :mod:`~repro.obs.analyze.commgraph` — matched send/recv message
+  edges: the cross-rank happens-before graph, the src x dst x tag comm
+  matrix, and per-link busy timelines; it also powers the network-aware
+  critical path (slack split into wait-on-sender / wait-on-network /
+  wait-on-compute);
 * :mod:`~repro.obs.analyze.imbalance` — busy/idle fractions per device,
   the "finish together" imbalance factor, straggler blocks, steal
   efficiency;
@@ -38,6 +43,12 @@ from repro.obs.analyze.audit import (
     model_drift,
     observed_splits,
 )
+from repro.obs.analyze.commgraph import (
+    CommGraph,
+    LinkUse,
+    Message,
+    build_comm_graph,
+)
 from repro.obs.analyze.critical_path import (
     CriticalPath,
     PathSegment,
@@ -58,7 +69,10 @@ __all__ = [
     "DecisionLog",
     "DecisionRecord",
     "DriftPoint",
+    "CommGraph",
     "CriticalPath",
+    "LinkUse",
+    "Message",
     "PathSegment",
     "DeviceLoad",
     "ImbalanceReport",
@@ -68,6 +82,7 @@ __all__ = [
     "analyze_run",
     "analyze_tracer",
     "audited_decisions",
+    "build_comm_graph",
     "critical_path",
     "device_loads",
     "find_stragglers",
@@ -86,6 +101,7 @@ class TraceAnalysis:
     imbalance: ImbalanceReport
     drift: tuple[DriftPoint, ...]
     decisions: tuple[dict[str, Any], ...]
+    comm: CommGraph | None = None
 
     @property
     def makespan(self) -> float:
@@ -112,6 +128,15 @@ class TraceAnalysis:
                     f"critical path discontinuity at {seg_a.end:.6e}s: "
                     f"{seg_a.name!r} -> {seg_b.name!r}"
                 )
+        decomp = self.critical_path.slack_decomposition()
+        decomp_gap = abs(sum(decomp.values()) - self.critical_path.slack)
+        if decomp_gap > tol:
+            problems.append(
+                f"slack decomposition (sender/network/compute) misses "
+                f"total slack by {decomp_gap:.3e} s (tolerance {tol:.1e})"
+            )
+        if self.comm is not None:
+            problems.extend(self.comm.check(tol=tol))
         return problems
 
     def to_dict(self) -> dict[str, Any]:
@@ -119,6 +144,11 @@ class TraceAnalysis:
         return {
             "critical_path": self.critical_path.to_dict(),
             "imbalance": self.imbalance.to_dict(),
+            "comm": (
+                self.comm.to_dict(makespan=self.makespan)
+                if self.comm is not None
+                else None
+            ),
             "model_drift": [p.to_dict() for p in self.drift],
             "max_abs_drift": self.max_abs_drift,
             "decisions": list(self.decisions),
@@ -139,8 +169,9 @@ def analyze_tracer(
     """
     if audit is None:
         audit = DecisionLog()
+    comm = build_comm_graph(tracer)
     return TraceAnalysis(
-        critical_path=critical_path(tracer, makespan=makespan),
+        critical_path=critical_path(tracer, makespan=makespan, comm=comm),
         imbalance=analyze_imbalance(
             tracer,
             makespan=makespan,
@@ -149,6 +180,7 @@ def analyze_tracer(
         ),
         drift=tuple(model_drift(tracer, audit)),
         decisions=tuple(audited_decisions(tracer, audit)),
+        comm=comm,
     )
 
 

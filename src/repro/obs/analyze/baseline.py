@@ -26,11 +26,13 @@ from dataclasses import dataclass, field
 from typing import Any
 
 #: bump when the baseline JSON layout changes incompatibly
-SCHEMA_VERSION = 1
+#: (v2: comm-aware critical path — recv waits become attributed slack —
+#: plus per-run comm volume and the slack decomposition)
+SCHEMA_VERSION = 2
 
 #: metrics where a higher current value is a regression
 HIGHER_IS_WORSE = ("makespan_s", "critical_path_work_s",
-                   "critical_path_slack_s", "max_abs_drift")
+                   "critical_path_slack_s", "max_abs_drift", "comm_bytes")
 #: metrics where a lower current value is a regression
 LOWER_IS_WORSE = ("gflops",)
 
@@ -42,6 +44,7 @@ ABSOLUTE_FLOORS = {
     "max_abs_drift": 1e-3,
     "gflops": 1e-3,
     "phase_s": 1e-6,
+    "comm_bytes": 1.0,
 }
 
 
@@ -86,6 +89,8 @@ DEFAULT_WORKLOADS: tuple[WorkloadSpec, ...] = (
                  policy="adaptive-feedback", size=2000),
     WorkloadSpec(name="gemv-static", app="gemv", policy="static",
                  size=2000, dims=256),
+    WorkloadSpec(name="gmm-multirank", app="gmm", policy="static",
+                 size=1500, nodes=4, iterations=4),
 )
 
 
@@ -138,20 +143,27 @@ def _run_workload(spec: WorkloadSpec):
 def measure_workload(spec: WorkloadSpec) -> dict[str, Any]:
     """Run one spec and distil the baseline metrics."""
     from repro.obs.analyze.audit import max_abs_drift, model_drift
+    from repro.obs.analyze.commgraph import build_comm_graph
     from repro.obs.analyze.critical_path import critical_path
 
     result = _run_workload(spec)
-    path = critical_path(result.trace.tracer, makespan=result.makespan)
+    comm = build_comm_graph(result.trace.tracer)
+    path = critical_path(
+        result.trace.tracer, makespan=result.makespan, comm=comm
+    )
     drift = model_drift(result.trace.tracer, result.trace.audit)
     return {
         "makespan_s": result.makespan,
         "critical_path_work_s": path.work,
         "critical_path_slack_s": path.slack,
+        "slack_decomposition_s": path.slack_decomposition(),
         "gflops": result.gflops,
         "max_abs_drift": max_abs_drift(drift),
         "iterations": result.iterations,
         "phase_totals_s": result.phase_totals(),
         "decision_records": len(result.trace.audit),
+        "comm_messages": len(comm),
+        "comm_bytes": comm.total_bytes,
     }
 
 

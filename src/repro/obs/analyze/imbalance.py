@@ -41,11 +41,15 @@ from repro.obs.analyze.critical_path import ENVELOPE_CATEGORIES
 
 def _is_block_span(span: Span) -> bool:
     """Device-block / leaf activity spans: everything that is not a
-    per-rank envelope or recovery bracket."""
+    per-rank envelope, recovery bracket, or receive wait (a blocked
+    ``recv`` is idleness by definition — counting it as busy time would
+    inflate utilization and hide the very imbalance this module scores).
+    """
     return (
         span.end is not None
         and span.category not in ENVELOPE_CATEGORIES
         and span.category != "recovery"
+        and span.category != "recv"
         and not span.track.startswith("rank")
     )
 

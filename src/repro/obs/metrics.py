@@ -52,12 +52,16 @@ REGION_BYTES_SERVED = "prs_region_bytes_served_total"
 REGION_BYTES_COPIED = "prs_region_bytes_copied_total"
 REGION_RESETS = "prs_region_resets_total"
 REGION_CAPACITY_BYTES = "prs_region_capacity_bytes"
+#: labeled ``{src, dst, tag, link}`` per delivered message — the metric
+#: twin of the span-level comm matrix (``tag`` is the coarse tag *class*,
+#: e.g. ``shuffle``/``state``/``heartbeat``, to bound label cardinality)
 COMM_MESSAGES = "prs_comm_messages_total"
 COMM_BYTES = "prs_comm_bytes_total"
 COMM_TIMEOUTS = "prs_comm_timeouts_total"
 COMM_RETRANSMITS = "prs_comm_retransmits_total"
 COMM_HEARTBEATS = "prs_comm_heartbeats_total"
 SHUFFLE_PAIRS = "prs_shuffle_pairs_total"
+SHUFFLE_BYTES = "prs_shuffle_bytes_total"
 RECOVERY_FAULTS_INJECTED = "prs_recovery_faults_injected_total"
 RECOVERY_BLOCK_FAILURES = "prs_recovery_block_failures_total"
 RECOVERY_BLOCKS_RETRIED = "prs_recovery_blocks_retried_total"

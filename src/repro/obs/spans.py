@@ -298,6 +298,29 @@ class SpanTracer:
                     "args": args,
                 }
             )
+            # Matched send/recv spans additionally emit a flow arrow:
+            # ``s`` (start) anchored at the send span's start, ``f``
+            # (finish, binding to the enclosing slice's end) at the recv
+            # span's end.  Perfetto draws these as arrows between the two
+            # slices.  ``from_chrome`` ignores them — the ``msg_id`` span
+            # attr is the authoritative pairing key.
+            msg_id = span.attrs.get("msg_id")
+            if msg_id is not None and span.category in ("net", "recv"):
+                flow: dict[str, Any] = {
+                    "name": "msg",
+                    "cat": "comm.flow",
+                    "id": msg_id,
+                    "pid": 1,
+                    "tid": tids[span.track],
+                }
+                if span.category == "net":
+                    flow["ph"] = "s"
+                    flow["ts"] = span.start * 1e6
+                else:
+                    flow["ph"] = "f"
+                    flow["bp"] = "e"
+                    flow["ts"] = end * 1e6
+                events.append(flow)
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 
     def to_chrome_json(self, indent: int | None = None) -> str:

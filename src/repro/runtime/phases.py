@@ -34,6 +34,7 @@ from repro.runtime.shuffle import (
     apply_combiner,
     group_by_key,
     hash_partition,
+    shuffle_stats,
     sort_pairs,
 )
 from repro.simulate.engine import Engine, Event
@@ -204,6 +205,16 @@ class ShufflePhase(Phase):
 
     def body(self, ctx: PhaseContext) -> Generator[Event, Any, None]:
         buckets = hash_partition(ctx.pairs, ctx.comm.size)
+        stats = shuffle_stats(buckets)
+        ctx.trace.annotate_phase(
+            ctx.trace_rank,
+            shuffle_out_pairs=stats["total_pairs"],
+            shuffle_out_bytes=stats["total_bytes"],
+            shuffle_fanout=stats["fanout"],
+        )
+        ctx.trace.metrics.counter(obs.SHUFFLE_BYTES).inc(
+            stats["total_bytes"], rank=str(ctx.rank)
+        )
         incoming = yield from ctx.comm.alltoall(
             buckets, tag=100_000 + ctx.iteration * 256
         )

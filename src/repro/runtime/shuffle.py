@@ -18,6 +18,7 @@ from collections import defaultdict
 from typing import Any, Callable, Iterable, Sequence
 
 from repro._validation import require_positive_int
+from repro.comm.mpi import payload_nbytes
 
 KeyValue = tuple[Any, Any]
 
@@ -52,6 +53,28 @@ def hash_partition(
     for key, value in pairs:
         buckets[bucket_of(key, n_buckets)].append((key, value))
     return buckets
+
+
+def shuffle_stats(
+    buckets: Sequence[Sequence[KeyValue]],
+) -> dict[str, Any]:
+    """Outgoing-traffic profile of one node's partitioned buckets.
+
+    Computed *before* the all-to-all so the shuffle phase span can be
+    annotated with what this node is about to push onto the wire —
+    per-destination pair counts, wire-size estimates (same
+    ``payload_nbytes`` model the simulated communicator charges), and the
+    fan-out (how many destinations actually receive a non-empty bucket).
+    """
+    pairs_by_dest = [len(bucket) for bucket in buckets]
+    bytes_by_dest = [payload_nbytes(list(bucket)) for bucket in buckets]
+    return {
+        "pairs_by_dest": pairs_by_dest,
+        "bytes_by_dest": bytes_by_dest,
+        "total_pairs": sum(pairs_by_dest),
+        "total_bytes": sum(bytes_by_dest),
+        "fanout": sum(1 for n in pairs_by_dest if n > 0),
+    }
 
 
 def apply_combiner(

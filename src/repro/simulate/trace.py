@@ -112,13 +112,16 @@ class Trace:
         #: appending records never perturbs the simulated schedule)
         self.audit = DecisionLog()
         self._busy_union: dict[str, IntervalUnion] = {}
+        #: next message id handed to the communicator(s); trace-owned so
+        #: ids stay unique across the worlds of rank-restart epochs
+        self._next_msg_id = 1
         self._device_rank: dict[str, int] = {}
         self._open_phase: dict[int, Span] = {}
         self._iter_span: dict[int, Span] = {}
         self._job_span: dict[int, Span] = {}
 
     # ------------------------------------------------------------------
-    def add(self, record: TaskRecord) -> None:
+    def add(self, record: TaskRecord, attrs: dict | None = None) -> None:
         self._records.append(record)
         m = self.metrics
         device, kind = record.device, record.kind
@@ -135,6 +138,9 @@ class Trace:
         added = union.add(record.start, record.end)
         if added:
             m.counter(DEVICE_BUSY_UNION_SECONDS).inc(added, device=device)
+        span_attrs = {"nbytes": record.nbytes, "flops": record.flops}
+        if attrs:
+            span_attrs.update(attrs)
         self.tracer.record(
             record.label,
             device,
@@ -142,7 +148,7 @@ class Trace:
             record.end,
             category=kind,
             parent_id=self._block_parent(device, record.start),
-            attrs={"nbytes": record.nbytes, "flops": record.flops},
+            attrs=span_attrs,
         )
 
     def record(
@@ -154,8 +160,35 @@ class Trace:
         end: float,
         nbytes: float = 0.0,
         flops: float = 0.0,
+        attrs: dict | None = None,
     ) -> None:
-        self.add(TaskRecord(label, device, kind, start, end, nbytes, flops))
+        self.add(TaskRecord(label, device, kind, start, end, nbytes, flops),
+                 attrs=attrs)
+
+    def record_recv(
+        self,
+        label: str,
+        device: str,
+        start: float,
+        end: float,
+        attrs: dict | None = None,
+    ) -> None:
+        """Append a ``recv``-category wait span on *device*'s track.
+
+        Receive waits go to the span tracer only — they are time spent
+        *blocked*, not device occupancy, so they must not feed the busy
+        counters or :class:`TaskRecord` views the utilization and
+        imbalance reports are built on.
+        """
+        self.tracer.record(
+            label,
+            device,
+            start,
+            end,
+            category="recv",
+            parent_id=self._block_parent(device, start),
+            attrs=attrs,
+        )
 
     def _block_parent(self, device: str, start: float) -> int | None:
         """The open phase span of the rank this device is bound to."""
@@ -320,6 +353,19 @@ class Trace:
             span.duration, phase=span.name, rank=str(rank)
         )
 
+    def next_msg_id(self) -> int:
+        """Allocate a trace-unique message id (paired send/recv spans)."""
+        msg_id = self._next_msg_id
+        self._next_msg_id += 1
+        return msg_id
+
+    def annotate_phase(self, rank: int, **attrs) -> None:
+        """Merge *attrs* into *rank*'s currently open phase span (no-op
+        when no phase is open — e.g. retrospective bracketing)."""
+        span = self._open_phase.get(rank)
+        if span is not None and span.is_open:
+            span.attrs.update(attrs)
+
     def record_phase(
         self, phase: str, rank: int, iteration: int, start: float, end: float
     ) -> None:
@@ -422,7 +468,17 @@ class Trace:
         span = self.makespan
         if span <= 0:
             return "(empty trace)"
-        glyph = {"compute": "#", "h2d": ">", "d2h": "<", "net": "~"}
+        glyph = {
+            "compute": "#",
+            "h2d": ">",
+            "d2h": "<",
+            "net": "~",
+            "shuffle": "x",
+            "reduce": "+",
+            "overhead": ".",
+            "recv": "?",
+        }
+        # unknown kinds fall back to "*" so no record ever renders blank
         lines = []
         for device in self.devices():
             row = [" "] * width

@@ -101,6 +101,24 @@ class TestQueries:
     def test_gantt_empty(self):
         assert "empty" in Trace().gantt()
 
+    def test_gantt_covers_all_known_kinds(self):
+        # shuffle/reduce/overhead used to render as blanks (glyph map only
+        # covered compute/h2d/d2h/net)
+        t = make_trace([
+            ("a", "dev", "shuffle", 0.0, 0.2),
+            ("b", "dev", "reduce", 0.2, 0.4),
+            ("c", "dev", "overhead", 0.4, 0.6),
+            ("d", "dev", "net", 0.6, 0.8),
+            ("e", "dev", "recv", 0.8, 1.0),
+        ])
+        row = t.gantt(width=50).splitlines()[0]
+        for ch in ("x", "+", ".", "~", "?"):
+            assert ch in row
+
+    def test_gantt_unknown_kind_falls_back_to_star(self):
+        t = make_trace([("a", "dev", "mystery-kind", 0.0, 1.0)])
+        assert "*" in t.gantt(width=30)
+
 
 class TestExport:
     def test_csv_roundtrip_structure(self):

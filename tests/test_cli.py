@@ -283,6 +283,38 @@ class TestAnalyzeCommand:
         out = capsys.readouterr().out
         assert "analysis check passed" in out
 
+    def test_comm_section_on_live_run(self, capsys):
+        assert main(self.RUN + ["--comm"]) == 0
+        out = capsys.readouterr().out
+        assert "communication (matched send/recv message spans):" in out
+        assert "path waits on" in out
+        assert "comm matrix" in out
+        assert "link utilization" in out
+
+    def test_comm_section_from_saved_profile(self, capsys, tmp_path):
+        target = tmp_path / "run.trace.json"
+        assert main([
+            "trace", "export", "--app", "cmeans", "--size", "1000",
+            "--nodes", "2", "--iterations", "2", "--out", str(target),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["analyze", str(target), "--comm", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "comm matrix" in out
+        assert "message spans pair 1:1" in out
+
+    def test_comm_json_payload(self, capsys):
+        import json
+
+        assert main(self.RUN + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (analysis,) = payload.values()
+        comm = analysis["comm"]
+        assert comm["messages"] > 0
+        assert comm["unpaired_recvs"] == 0
+        assert comm["matrix"]
+        assert analysis["critical_path"]["slack_decomposition"]
+
     def test_json_payload(self, capsys):
         import json
 
@@ -329,8 +361,9 @@ class TestBenchCommands:
         assert "wrote baseline" in capsys.readouterr().out
 
         payload = json.loads(base.read_text())
-        assert payload["schema_version"] == 1
+        assert payload["schema_version"] == 2
         assert "cmeans-static" in payload["workloads"]
+        assert "gmm-multirank" in payload["workloads"]
 
         # self-compare via --current: no sweep re-run, must pass
         assert main([
