@@ -20,12 +20,15 @@ differs):
 from __future__ import annotations
 
 import json
+import re
+from collections import defaultdict
 
 import pytest
 
 from _harness import RESULTS_DIR, once, save_profile, save_table
 from repro.analysis.tables import format_table
 from repro.apps.cmeans import CMeansApp
+from repro.apps.gmm import GMMApp
 from repro.data.synth import gaussian_mixture
 from repro.hardware import delta_cluster
 from repro.runtime.job import JobConfig, Overheads, Scheduling
@@ -140,10 +143,96 @@ def build_policy_sweep():
     return table, results
 
 
+# ---------------------------------------------------------------------------
+# Cross-device traffic: the graph-partition cut vs polling (gmm-multirank)
+# ---------------------------------------------------------------------------
+
+#: the regression-baseline "gmm-multirank" workload (obs/analyze/baseline.py)
+GMM_POINTS, GMM_DIMS, GMM_K = 1500, 8, 3
+GMM_NODES, GMM_ITERS = 4, 4
+GMM_BYTES_PER_ITEM = GMM_DIMS * 8  # float64 feature rows
+
+_MAP_LABEL = re.compile(r"map\[(\d+):(\d+)\]$")
+
+
+def run_gmm(policy):
+    pts, _, _ = gaussian_mixture(GMM_POINTS, GMM_DIMS, GMM_K, seed=7)
+    app = GMMApp(pts, GMM_K, seed=7, max_iterations=GMM_ITERS)
+    config = JobConfig(scheduling=policy, overheads=LEAN, dynamic_blocks=64)
+    return PRSRuntime(delta_cluster(GMM_NODES), config).run(app)
+
+
+def cross_device_cut_bytes(trace, bytes_per_item):
+    """Bytes on block-graph edges whose endpoints ran on different devices.
+
+    Reconstructs each node's per-iteration block -> device assignment from
+    the map compute records (the k-th occurrence of a block label is
+    iteration k) and sums, over adjacent item-range pairs placed on
+    different devices, the smaller block's volume — exactly the edge
+    weight the graph-partition policy min-cuts, measured after the fact
+    for *any* policy.
+    """
+    per_node: dict[str, dict[tuple[int, int], list[str]]] = defaultdict(
+        lambda: defaultdict(list)
+    )
+    for rec in sorted(trace.records, key=lambda r: r.start):
+        match = _MAP_LABEL.match(rec.label or "")
+        if match and rec.kind == "compute":
+            node = rec.device.split(".")[0]
+            span = (int(match[1]), int(match[2]))
+            per_node[node][span].append(rec.device)
+    total = 0.0
+    for blocks in per_node.values():
+        n_iters = max(len(devices) for devices in blocks.values())
+        ordered = sorted(blocks)
+        for it in range(n_iters):
+            for a, b in zip(ordered, ordered[1:]):
+                if a[1] != b[0]:  # not adjacent: no shared edge
+                    continue
+                dev_a = blocks[a][min(it, len(blocks[a]) - 1)]
+                dev_b = blocks[b][min(it, len(blocks[b]) - 1)]
+                if dev_a != dev_b:
+                    total += min(a[1] - a[0], b[1] - b[0]) * bytes_per_item
+    return total
+
+
+def build_traffic_sweep():
+    results = {}
+    for name in available_policies():
+        job = run_gmm(name)
+        results[name] = {
+            "makespan_s": job.makespan,
+            "cut_bytes": cross_device_cut_bytes(job.trace, GMM_BYTES_PER_ITEM),
+            "h2d_bytes": job.trace.total_bytes(kind="h2d"),
+        }
+    rows = [
+        [
+            name,
+            f"{stats['makespan_s'] * 1e3:.3f} ms",
+            f"{stats['cut_bytes'] / 1024:.0f} KiB",
+            f"{stats['h2d_bytes'] / 1024:.0f} KiB",
+        ]
+        for name, stats in sorted(results.items())
+    ]
+    table = format_table(
+        ["policy", "makespan", "cross-device edge bytes", "h2d staged"],
+        rows,
+        title=(
+            "Ablation S1c: cross-device traffic per policy "
+            f"(GMM, {GMM_POINTS} pts, {GMM_NODES} Delta nodes, "
+            f"{GMM_ITERS} iterations)"
+        ),
+    )
+    return table, results
+
+
 @pytest.mark.benchmark(group="ablation-sched")
 def test_policy_sweep(benchmark):
     table, results = once(benchmark, build_policy_sweep)
     save_table("ablation_sched_policies", table)
+
+    traffic_table, traffic = build_traffic_sweep()
+    save_table("ablation_sched_traffic", traffic_table)
 
     payload = {
         "workload": {
@@ -155,6 +244,17 @@ def test_policy_sweep(benchmark):
             "cluster": "delta x4",
         },
         "policies": results,
+        "gmm_multirank": {
+            "workload": {
+                "app": "gmm",
+                "points": GMM_POINTS,
+                "dims": GMM_DIMS,
+                "clusters": GMM_K,
+                "iterations": GMM_ITERS,
+                "cluster": f"delta x{GMM_NODES}",
+            },
+            "policies": traffic,
+        },
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_sched_policies.json").write_text(
@@ -167,7 +267,15 @@ def test_policy_sweep(benchmark):
         "dynamic",
         "adaptive-feedback",
         "locality-dynamic",
+        "affinity",
+        "graph-partition",
     }
+    # The min-cut policy moves fewer cross-device bytes than polling on
+    # the gmm-multirank workload — the property it exists to optimise.
+    assert (
+        traffic["graph-partition"]["cut_bytes"]
+        < traffic["dynamic"]["cut_bytes"]
+    )
     for stats in results.values():
         assert stats["makespan_s"] > 0.0
         assert stats["iterations"] == ITERS

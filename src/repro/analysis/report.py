@@ -162,6 +162,14 @@ def render_analysis(analysis, top_resources: int = 4, comm: bool = False) -> str
             for track, seconds in by_resource[:top_resources]
         )
         lines.append(f"  critical share  : {shares}")
+    by_edge = list(cp.slack_by_edge().items())
+    if by_edge:
+        slack = cp.slack or 1.0
+        edges = ", ".join(
+            f"{edge} {seconds * 1e3:.3f} ms ({seconds / slack:.0%})"
+            for edge, seconds in by_edge[:top_resources]
+        )
+        lines.append(f"  blocking edges  : {edges}")
     sections = ["\n".join(lines)]
     if comm:
         sections.append(render_comm(analysis))

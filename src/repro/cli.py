@@ -674,9 +674,12 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--scheduling", choices=["static", "dynamic"],
                         default="static")
-    parser.add_argument("--policy", default=None,
+    from repro.runtime.policies import available_policies
+
+    parser.add_argument("--policy", default=None, metavar="POLICY",
                         help="scheduling policy from the registry (overrides "
-                             "--scheduling); see `repro policies`")
+                             f"--scheduling): {', '.join(available_policies())}"
+                             "; see `repro policies`")
     group = parser.add_mutually_exclusive_group()
     group.add_argument("--gpu-only", action="store_true")
     group.add_argument("--cpu-only", action="store_true")

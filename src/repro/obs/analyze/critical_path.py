@@ -79,6 +79,10 @@ class PathSegment:
     #: for slack segments: what the path was waiting on — ``"sender"``,
     #: ``"network"``, or ``"compute"``; always ``None`` for work
     wait_on: str | None = None
+    #: the task-DAG edge this stretch sits behind (the owning phase
+    #: span's ``dag_edge`` attribute, e.g. ``"shuffle->reduce"``), when
+    #: the run came from the DAG runtime; ``None`` otherwise
+    edge: str | None = None
 
     @property
     def duration(self) -> float:
@@ -94,6 +98,7 @@ class PathSegment:
             "span_id": self.span_id,
             "is_work": self.is_work,
             "wait_on": self.wait_on,
+            "edge": self.edge,
             "duration": self.duration,
         }
 
@@ -161,6 +166,20 @@ class CriticalPath:
         """Cross-rank message edges the path followed (network waits)."""
         return sum(1 for s in self.segments if s.wait_on == "network")
 
+    def slack_by_edge(self) -> dict[str, float]:
+        """Slack seconds per task-DAG edge, largest first.
+
+        Only covers slack segments whose owning phase span carries the
+        DAG executor's ``dag_edge`` attribute — i.e. the concrete
+        dependency the blocked phase was waiting behind.  Empty for
+        profiles recorded before the DAG runtime.
+        """
+        totals: dict[str, float] = {}
+        for seg in self.segments:
+            if not seg.is_work and seg.edge is not None:
+                totals[seg.edge] = totals.get(seg.edge, 0.0) + seg.duration
+        return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
     def rank_tracks(self) -> set[str]:
         """Distinct per-rank tracks the path visits (``rank*``/``net.r*``)."""
         return {
@@ -176,6 +195,7 @@ class CriticalPath:
             "slack_s": self.slack,
             "tiling_gap_s": self.tiling_gap,
             "slack_decomposition": self.slack_decomposition(),
+            "slack_by_edge": self.slack_by_edge(),
             "message_hops": self.message_hops,
             "by_resource": self.by_resource(),
             "by_category": self.by_category(),
@@ -264,6 +284,22 @@ def critical_path(
 
     segments: list[PathSegment] = []
 
+    def owning_edge(span: Span) -> str | None:
+        """The task-DAG edge this span sits behind: its own ``dag_edge``
+        attribute or the nearest annotated ancestor's (leaf task/net
+        spans inherit from their phase envelope)."""
+        cur: Span | None = span
+        while cur is not None:
+            edge = cur.attrs.get("dag_edge")
+            if edge is not None:
+                return edge
+            cur = (
+                by_id.get(cur.parent_id)
+                if cur.parent_id is not None
+                else None
+            )
+        return None
+
     def emit(
         span: Span, lo: float, hi: float, is_work: bool, wait_on: str | None = None
     ) -> None:
@@ -278,6 +314,9 @@ def critical_path(
                     span_id=span.span_id,
                     is_work=is_work,
                     wait_on=None if is_work else (wait_on or "compute"),
+                    # Slack inside a DAG-annotated phase envelope sits
+                    # behind that phase's concrete blocking edge.
+                    edge=owning_edge(span),
                 )
             )
 

@@ -212,6 +212,9 @@ class CpuDaemon:
                 duration *= faults.compute_scale(self.fault_key, start)
             yield engine.timeout(duration)
             _deliver(sink, block, pairs)
+            self.res.allocator.note_block(
+                (block.start, block.stop), self.device_name
+            )
             self.trace.record(
                 f"map[{block.start}:{block.stop}]",
                 self.device_name,
@@ -408,6 +411,9 @@ class GpuDaemon:
         if alloc > 0:
             yield engine.timeout(alloc)
         _deliver(sink, block, pairs)
+        self.res.allocator.note_block(
+            (block.start, block.stop), self.device_name
+        )
 
     def run_map_blocks(
         self,

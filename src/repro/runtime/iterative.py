@@ -5,10 +5,13 @@ loop-invariant input caching — lives in
 :class:`~repro.runtime.daemons.GpuDaemon` (``input_cached``).  This module
 provides the per-iteration bookkeeping the :class:`ConvergencePhase` of
 :mod:`repro.runtime.phases` records on the master, and convergence
-helpers shared by the iterative applications.  For the *intra*-iteration
-time breakdown (map vs shuffle vs reduce ...) see the phase spans on
-:class:`~repro.simulate.trace.Trace` — an :class:`IterationStats` covers
-one whole driver iteration, a phase span one step of it.
+helpers shared by the iterative applications.  Each driver iteration is
+one execution of the task graph built by
+:func:`repro.runtime.phases.iteration_graph` (see ``docs/DAG.md``); for
+the *intra*-iteration time breakdown (map vs shuffle vs reduce ...) see
+the DAG-annotated phase spans on :class:`~repro.simulate.trace.Trace` —
+an :class:`IterationStats` covers one whole driver iteration, a phase
+span one node of the graph.
 """
 
 from __future__ import annotations

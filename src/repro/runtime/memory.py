@@ -135,6 +135,13 @@ class RegionAllocator:
         #: counters already published to a metrics registry (diff base)
         self._published = AllocationStats(backing_allocs=0)
         self._published_resets = 0
+        #: region map: item span -> daemon thread whose region last held
+        #: that block's intermediates.  Pure bookkeeping for the affinity
+        #: scheduling policy ("place blocks where their input regions
+        #: already live"); survives :meth:`reset_all` because the *home*
+        #: of a block is a property of the daemon, not of the recycled
+        #: buffer contents.
+        self._block_regions: dict[tuple[int, int], str] = {}
 
     def region(self, thread_id: str) -> Region:
         reg = self._regions.get(thread_id)
@@ -154,6 +161,20 @@ class RegionAllocator:
     @property
     def regions(self) -> dict[str, Region]:
         return dict(self._regions)
+
+    def note_block(self, key: tuple[int, int], thread_id: str) -> None:
+        """Record that block *key*'s intermediates live in *thread_id*'s
+        region (called by the daemons after each map block)."""
+        self._block_regions[key] = thread_id
+
+    def home_of(self, key: tuple[int, int]) -> str | None:
+        """The daemon thread whose region last held block *key*."""
+        return self._block_regions.get(key)
+
+    @property
+    def block_regions(self) -> dict[tuple[int, int], str]:
+        """Read-only view of the block -> home-region map."""
+        return dict(self._block_regions)
 
     def publish_metrics(self, metrics, **labels) -> None:
         """Flush counter deltas since the last publish into *metrics*.

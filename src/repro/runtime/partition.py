@@ -69,6 +69,19 @@ def weighted_partition(
     return out
 
 
+def blocks_nbytes(blocks, bytes_of) -> float:
+    """Total modelled bytes across *blocks* under the sizing model
+    *bytes_of* (e.g. ``app.block_bytes`` for input volume,
+    ``app.map_output_bytes`` for the emitted intermediates).
+
+    This is the data-size annotation the task-DAG runtime puts on its
+    edges (:func:`repro.runtime.phases.iteration_graph`) and the
+    graph-partition policy balances its min-cut on — bookkeeping only,
+    never a simulated cost.
+    """
+    return float(sum(bytes_of(block) for block in blocks))
+
+
 def default_partition_count(n_nodes: int) -> int:
     """The paper's default: ``2 x`` the number of fat nodes."""
     require_positive_int("n_nodes", n_nodes)

@@ -1,7 +1,7 @@
 """Pluggable sub-task scheduling policies (§III.B.2 made first-class).
 
 The paper's two strategies — static analytic split and dynamic block
-polling — plus two paper-grounded extensions live here behind a common
+polling — plus four paper-grounded extensions live here behind a common
 :class:`SchedulingPolicy` interface and a name registry.  The
 :class:`~repro.runtime.job.Scheduling` enum values are aliases for the
 built-in registry names:
@@ -11,12 +11,18 @@ built-in registry names:
 ``dynamic``               shared-queue block polling (MinBs-derived count)
 ``adaptive-feedback``     static split refit to observed device rates
 ``locality-dynamic``      polling that honours GPU block-cache affinity
+``affinity``              region-map placement: blocks return to the device
+                          whose memory already holds their inputs
+``graph-partition``       contiguous min-cut of the block graph, stable
+                          across iterations (minimal cross-device bytes)
 ========================  ====================================================
 """
 
 from repro.runtime.policies.adaptive_feedback import AdaptiveFeedbackPolicy
+from repro.runtime.policies.affinity import AffinityPolicy
 from repro.runtime.policies.base import SchedulingPolicy
 from repro.runtime.policies.dynamic import DynamicPolicy, dynamic_block_count
+from repro.runtime.policies.graph_partition import GraphPartitionPolicy
 from repro.runtime.policies.locality import LocalityDynamicPolicy
 from repro.runtime.policies.registry import (
     available_policies,
@@ -27,7 +33,9 @@ from repro.runtime.policies.static import StaticPolicy
 
 __all__ = [
     "AdaptiveFeedbackPolicy",
+    "AffinityPolicy",
     "DynamicPolicy",
+    "GraphPartitionPolicy",
     "LocalityDynamicPolicy",
     "SchedulingPolicy",
     "StaticPolicy",

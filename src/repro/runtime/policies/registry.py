@@ -4,8 +4,8 @@ Policies self-register at import time via the :func:`register_policy`
 decorator; :func:`get_policy` is the single lookup used by
 :class:`~repro.runtime.job.JobConfig` validation and by the sub-task
 scheduler.  External code can register additional policies under new
-names — the ``Scheduling`` enum members are just aliases for the four
-built-in names.
+names — the ``Scheduling`` enum members are just aliases for built-in
+names.
 """
 
 from __future__ import annotations

@@ -6,14 +6,16 @@ plus the job driver of §III.A.2:
 * the master splits the input into ``2 x n_nodes`` partitions (weighted by
   node capability for inhomogeneous clusters) and assigns them to worker
   sub-task schedulers;
-* each iteration runs the phase pipeline of :mod:`repro.runtime.phases` —
-  broadcast of the loop state (iterative apps), map on every node's
-  devices, optional combiner, cross-cluster shuffle of the intermediate
-  buckets, distributed reduce, gather of the reduce outputs at the
-  master, and a convergence step (state update + stop broadcast for
-  iterative apps).  Every phase brackets itself in the trace, so the
-  returned :class:`~repro.runtime.job.JobResult` carries a per-iteration,
-  per-phase time breakdown.
+* each iteration executes the task graph built by
+  :func:`repro.runtime.phases.iteration_graph` through the ready-set
+  executor of :mod:`repro.runtime.dag` — broadcast of the loop state
+  (iterative apps), map on every node's devices, optional combiner,
+  cross-cluster shuffle of the intermediate buckets, distributed reduce,
+  gather of the reduce outputs at the master, and a convergence step
+  (state update + stop broadcast for iterative apps).  Every phase
+  brackets itself in the trace (annotated with its DAG node and blocking
+  edge), so the returned :class:`~repro.runtime.job.JobResult` carries a
+  per-iteration, per-phase time breakdown.
 
 Data placement convention: like the paper's experiments ("the input
 matrices were copied into CPU and GPU memories in advance", §IV.A.1), the
@@ -45,7 +47,7 @@ from repro.runtime.daemons import NodeResources
 from repro.runtime.iterative import IterationLog
 from repro.runtime.job import JobConfig, JobResult
 from repro.runtime.partition import weighted_partition
-from repro.runtime.phases import ITERATION_PHASES, PhaseContext, SetupPhase
+from repro.runtime.phases import PhaseContext, SetupPhase, iteration_graph
 from repro.runtime.recovery import (
     JobAbortedError,
     NodeDeadError,
@@ -132,12 +134,15 @@ class PRSRuntime:
                 iterations_done=iterations_done,
             )
             yield from SetupPhase().run(ctx)
-            pipeline = [phase_cls() for phase_cls in ITERATION_PHASES]
+            # The per-iteration lifecycle is an explicit task graph; the
+            # ready-set executor replays it each iteration (for the
+            # default linear chain this is event-for-event identical to
+            # the old phase-list loop).
+            graph = iteration_graph(ctx)
             while True:
                 ctx.iter_start = engine.now
                 ctx.net_before = world.bytes_sent
-                for phase in pipeline:
-                    yield from phase.run(ctx)
+                yield from graph.run(ctx)
                 if ctx.stop or not iterative:
                     break
                 ctx.iteration += 1
@@ -289,12 +294,11 @@ class PRSRuntime:
                 ctx.iteration = start_iteration
                 try:
                     yield from SetupPhase().run(ctx)
-                    pipeline = [phase_cls() for phase_cls in ITERATION_PHASES]
+                    graph = iteration_graph(ctx)
                     while True:
                         ctx.iter_start = engine.now
                         ctx.net_before = world.bytes_sent
-                        for phase in pipeline:
-                            yield from phase.run(ctx)
+                        yield from graph.run(ctx)
                         if ctx.stop or not iterative:
                             break
                         ctx.iteration += 1

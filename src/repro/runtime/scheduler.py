@@ -192,6 +192,30 @@ class SubTaskScheduler:
         engines.extend(self.active_gpu_daemons)
         return engines
 
+    def nominal_map_engines(self) -> list[CpuDaemon | GpuDaemon]:
+        """Every configured map engine, in device-weight order — the
+        fault-invariant set policies plan block placement over (dead
+        members are routed through recovery at dispatch time)."""
+        engines: list[CpuDaemon | GpuDaemon] = (
+            [self.cpu_daemon] if self.cpu_daemon is not None else []
+        )
+        engines.extend(self.gpu_daemons)
+        return engines
+
+    def block_home(self, block: Block) -> str | None:
+        """The device whose memory already holds *block*'s input — the
+        affinity policy's placement signal.
+
+        A GPU holding the block in its loop-invariant cache wins (re-use
+        avoids the PCI-E restage entirely); otherwise the allocator's
+        region map names the daemon whose region last held the block's
+        intermediates.  ``None`` for a block no device has touched yet.
+        """
+        for daemon in self.gpu_daemons:
+            if daemon.is_cached(block):
+                return daemon.device_name
+        return self.res.allocator.home_of((block.start, block.stop))
+
     def _on_block_failure(
         self, daemon: CpuDaemon | GpuDaemon, block: Block, fatal: bool
     ) -> None:

@@ -308,10 +308,20 @@ class Trace:
     # Phase spans (job -> iteration -> phase hierarchy per rank)
     # ------------------------------------------------------------------
     def begin_phase(
-        self, phase: str, rank: int, iteration: int, start: float
+        self,
+        phase: str,
+        rank: int,
+        iteration: int,
+        start: float,
+        attrs: dict | None = None,
     ) -> Span:
         """Open a live phase span, creating the enclosing job/iteration
-        spans of *rank* as needed.  Pair with :meth:`end_phase`."""
+        spans of *rank* as needed.  Pair with :meth:`end_phase`.
+
+        *attrs* merges extra attributes into the phase span (the task-DAG
+        executor passes the node's graph position and blocking edge);
+        ``rank``/``iteration`` are reserved keys and always win.
+        """
         track = f"rank{rank}"
         job = self._job_span.get(rank)
         if job is None:
@@ -332,13 +342,15 @@ class Trace:
                 attrs={"iteration": iteration},
             )
             self._iter_span[rank] = it_span
+        span_attrs = dict(attrs) if attrs else {}
+        span_attrs.update({"rank": rank, "iteration": iteration})
         span = self.tracer.begin(
             phase,
             track,
             start,
             category="phase",
             parent_id=it_span.span_id,
-            attrs={"rank": rank, "iteration": iteration},
+            attrs=span_attrs,
         )
         self._open_phase[rank] = span
         return span
@@ -478,14 +490,27 @@ class Trace:
             "overhead": ".",
             "recv": "?",
         }
-        # unknown kinds fall back to "*" so no record ever renders blank
+
+        def glyph_for(kind: str) -> str:
+            # Unknown kinds (DAG-introduced phase categories, custom
+            # record tags) render as their first alphanumeric character
+            # — stable and distinguishable — instead of collapsing every
+            # novel kind onto an anonymous "*".
+            ch = glyph.get(kind)
+            if ch is not None:
+                return ch
+            for c in kind:
+                if c.isalnum():
+                    return c.lower()
+            return "*"
+
         lines = []
         for device in self.devices():
             row = [" "] * width
             for r in self.filter(device=device):
                 lo = int(r.start / span * (width - 1))
                 hi = max(lo + 1, int(r.end / span * (width - 1)) + 1)
-                ch = glyph.get(r.kind, "*")
+                ch = glyph_for(r.kind)
                 for i in range(lo, min(hi, width)):
                     row[i] = ch
             lines.append(f"{device:>16s} |{''.join(row)}|")

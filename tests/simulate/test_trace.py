@@ -115,8 +115,16 @@ class TestQueries:
         for ch in ("x", "+", ".", "~", "?"):
             assert ch in row
 
-    def test_gantt_unknown_kind_falls_back_to_star(self):
+    def test_gantt_unknown_kind_gets_own_glyph(self):
+        # DAG-introduced kinds render with their first letter, not a
+        # silent "*" (that fallback is reserved for unnameable kinds).
         t = make_trace([("a", "dev", "mystery-kind", 0.0, 1.0)])
+        out = t.gantt(width=30)
+        assert "m" in out
+        assert "*" not in out
+
+    def test_gantt_unnameable_kind_falls_back_to_star(self):
+        t = make_trace([("a", "dev", "###", 0.0, 1.0)])
         assert "*" in t.gantt(width=30)
 
 
