@@ -193,6 +193,7 @@ def cmd_policies(args: argparse.Namespace) -> int:
 
 def _run_job(args: argparse.Namespace):
     """Build the cluster/app/config from shared run options and execute."""
+    from repro.obs.timeseries import DEFAULT_SAMPLE_INTERVAL
     from repro.runtime.job import JobConfig
     from repro.runtime.prs import PRSRuntime
 
@@ -200,12 +201,19 @@ def _run_job(args: argparse.Namespace):
     app = _build_app(args)
     policy = args.policy if args.policy is not None else args.scheduling
     fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
+    if args.no_sample:
+        sample_interval = None
+    elif args.sample_interval is not None:
+        sample_interval = args.sample_interval
+    else:
+        sample_interval = DEFAULT_SAMPLE_INTERVAL
     config = JobConfig(
         scheduling=policy,
         use_cpu=not args.gpu_only,
         use_gpu=not args.cpu_only,
         faults=args.faults or None,
         fault_seed=fault_seed,
+        sample_interval=sample_interval,
     )
     result = PRSRuntime(cluster, config).run(app)
     return cluster, app, config, result
@@ -220,12 +228,43 @@ def _write_profile(result, app, path: str | None) -> str:
     return path
 
 
+def _profile_meta(args, cluster, app, config, result) -> dict:
+    """The run context embedded in JSONL profiles.  Deterministic by
+    construction — no wall-clock timestamps, no absolute paths — so
+    identical runs produce byte-identical profiles (and dashboards)."""
+    return {
+        "app": app.name,
+        "n_items": app.n_items(),
+        "cluster": args.node,
+        "nodes": cluster.n_nodes,
+        "devices": config.devices_label(),
+        "policy": result.policy,
+        "iterations": result.iterations,
+        "makespan_s": result.makespan,
+        "sample_interval": config.sample_interval,
+    }
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     cluster, app, config, result = _run_job(args)
 
     profile_path: str | None = None
     if args.profile or args.profile_out is not None:
         profile_path = _write_profile(result, app, args.profile_out)
+
+    dashboard_path: str | None = None
+    if args.dashboard_out is not None:
+        from repro.obs.dashboard import render_dashboard
+        from repro.obs.profile import loads_profile, profile_jsonl
+
+        # Render through the serialized profile (not the live objects) so
+        # `run --dashboard-out` and `repro dashboard <saved-profile>` are
+        # byte-identical by construction.
+        meta = _profile_meta(args, cluster, app, config, result)
+        page = render_dashboard(loads_profile(profile_jsonl(result.trace, meta)))
+        dashboard_path = args.dashboard_out
+        with open(dashboard_path, "w", encoding="utf-8") as fh:
+            fh.write(page)
 
     if args.json:
         import json
@@ -251,16 +290,19 @@ def cmd_run(args: argparse.Namespace) -> int:
             ],
             "device_summary": result.trace.summary(),
             "analysis": result.analyze().to_dict(),
+            "alerts": [alert.to_dict() for alert in result.alerts],
+            "sampling": {
+                "interval_s": config.sample_interval,
+                "samples": result.sampler_samples,
+                "engine_events": result.engine_events,
+            },
         }
         if result.recovery is not None:
-            from dataclasses import asdict
-
-            payload["recovery"] = asdict(result.recovery)
-            payload["recovery"]["dead_nodes"] = list(
-                result.recovery.dead_nodes
-            )
+            payload["recovery"] = result.recovery.to_dict()
         if profile_path is not None:
             payload["profile"] = profile_path
+        if dashboard_path is not None:
+            payload["dashboard"] = dashboard_path
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
 
@@ -271,6 +313,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         if profile_path is not None:
             print(f"\nprofile written: {profile_path} (Chrome trace-event "
                   "JSON; load in Perfetto or chrome://tracing)")
+        if dashboard_path is not None:
+            print(f"dashboard written: {dashboard_path}")
         return 0
 
     print(f"app            : {app.name} ({app.n_items()} items)")
@@ -313,6 +357,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(render_profile_summary(result))
         print(f"profile written: {profile_path} (Chrome trace-event JSON; "
               "load in Perfetto or chrome://tracing)")
+    if result.alerts:
+        print("alerts fired:")
+        for alert in result.alerts:
+            labels = dict(alert.labels)
+            suffix = f" {labels}" if labels else ""
+            print(f"  [{alert.severity}] {alert.rule}{suffix}: "
+                  f"{alert.expr} {alert.peak:.3g} vs {alert.threshold:.3g} "
+                  f"from {alert.start * 1e3:.3f} ms")
+    if dashboard_path is not None:
+        print(f"dashboard written: {dashboard_path}")
     return 0
 
 
@@ -449,10 +503,56 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    """Render saved profile(s) into standalone HTML dashboards."""
+    import pathlib
+
+    from repro.obs.dashboard import render_dashboard
+    from repro.obs.profile import load_profile
+
+    paths: list[str] = []
+    for raw in args.profiles:
+        p = pathlib.Path(raw)
+        if p.is_dir():
+            found = sorted(
+                str(f)
+                for pattern in ("*.profile.jsonl", "*.trace.json")
+                for f in p.glob(pattern)
+            )
+            if not found:
+                raise SystemExit(
+                    f"no *.profile.jsonl / *.trace.json profiles under {raw!r}"
+                )
+            paths.extend(found)
+        elif p.exists():
+            paths.append(str(p))
+        else:
+            raise SystemExit(f"profile not found: {raw!r}")
+    if args.out is not None and len(paths) > 1:
+        raise SystemExit("--out needs exactly one input profile")
+    for path in paths:
+        page = render_dashboard(load_profile(path))
+        if args.out == "-":
+            sys.stdout.write(page)
+            continue
+        out = args.out
+        if out is None:
+            base = path
+            for suffix in (".profile.jsonl", ".trace.json", ".jsonl", ".json"):
+                if base.endswith(suffix):
+                    base = base[: -len(suffix)]
+                    break
+            out = base + ".dashboard.html"
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(page)
+        print(f"dashboard written: {out}")
+    return 0
+
+
 def cmd_trace_export(args: argparse.Namespace) -> int:
     from repro import obs
 
-    _, app, _, result = _run_job(args)
+    cluster, app, config, result = _run_job(args)
 
     if args.check:
         problems = obs.check_profile(result.trace, result.makespan)
@@ -464,6 +564,12 @@ def cmd_trace_export(args: argparse.Namespace) -> int:
     if args.format == "chrome":
         text = result.trace.tracer.to_chrome_json(indent=args.indent)
         default_out = f"{app.name}.trace.json"
+    elif args.format == "profile":
+        from repro.obs.profile import profile_jsonl
+
+        meta = _profile_meta(args, cluster, app, config, result)
+        text = profile_jsonl(result.trace, meta)
+        default_out = f"{app.name}.profile.jsonl"
     else:
         text = result.trace.tracer.to_jsonl()
         default_out = f"{app.name}.spans.jsonl"
@@ -564,6 +670,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "observed-vs-predicted summary")
     run.add_argument("--profile-out", default=None, metavar="PATH",
                      help="profile destination (implies --profile)")
+    run.add_argument("--dashboard-out", default=None, metavar="PATH",
+                     help="write the standalone HTML run dashboard "
+                          "(sparklines, alerts, phase timeline) to PATH; "
+                          "byte-identical to `repro dashboard` on the "
+                          "run's saved JSONL profile")
     run.set_defaults(func=cmd_run)
 
     metrics = sub.add_parser(
@@ -636,19 +747,39 @@ def build_parser() -> argparse.ArgumentParser:
                               "regressed (default 0.10)")
     compare.set_defaults(func=cmd_bench_compare)
 
+    dashboard = sub.add_parser(
+        "dashboard",
+        help="render saved profiles into standalone HTML dashboards "
+             "(sparklines, alert timeline, phase gantt; no external "
+             "assets)",
+    )
+    dashboard.add_argument("profiles", nargs="+", metavar="PROFILE",
+                           help="*.profile.jsonl (full: spans + series) or "
+                                "*.trace.json (spans only) files, or "
+                                "directories of them")
+    dashboard.add_argument("--out", default=None, metavar="PATH",
+                           help="output HTML ('-' for stdout; needs exactly "
+                                "one input; default "
+                                "<profile>.dashboard.html)")
+    dashboard.set_defaults(func=cmd_dashboard)
+
     trace = sub.add_parser("trace", help="trace/profile utilities")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     export = trace_sub.add_parser(
         "export", help="run an app and export its span hierarchy"
     )
     _add_run_options(export)
-    export.add_argument("--format", choices=["chrome", "jsonl"],
+    export.add_argument("--format", choices=["chrome", "jsonl", "profile"],
                         default="chrome",
                         help="chrome: trace-event JSON for Perfetto / "
-                             "chrome://tracing; jsonl: one span per line")
+                             "chrome://tracing; jsonl: one span per line; "
+                             "profile: full JSONL profile (meta + spans + "
+                             "sampled time-series) for `repro dashboard` "
+                             "and offline re-analysis")
     export.add_argument("--out", default=None, metavar="PATH",
                         help="output file ('-' for stdout; default "
-                             "{app}.trace.json / {app}.spans.jsonl)")
+                             "{app}.trace.json / {app}.spans.jsonl / "
+                             "{app}.profile.jsonl)")
     export.add_argument("--indent", type=int, default=None,
                         help="pretty-print the chrome JSON")
     export.add_argument("--check", action="store_true",
@@ -691,6 +822,15 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fault-seed", type=int, default=None,
                         help="seed for sampling ranged (lo~hi) fault "
                              "parameters (default: --seed)")
+    sampling = parser.add_mutually_exclusive_group()
+    sampling.add_argument("--no-sample", action="store_true",
+                          help="disable the time-series metric sampler "
+                               "(schedules are bitwise identical either "
+                               "way; this only drops the series + alerts)")
+    sampling.add_argument("--sample-interval", type=float, default=None,
+                          metavar="SECONDS",
+                          help="simulated-clock sampling pitch (default "
+                               "1e-3)")
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -185,6 +185,15 @@ class World:
                     latency=self.network.latency,
                     name=f"nic{rank}",
                 )
+        if trace is not None and trace.sampler is not None:
+            # Declare the α/β wire model of the inter-node link so the
+            # sampler can derive offered-load and observed-vs-model
+            # series (rank-local messages are free: no model to watch).
+            trace.sampler.register_link_model(
+                "remote",
+                latency_s=self.network.latency,
+                bytes_per_s=self.network.bandwidth * 1e9,
+            )
         self._mailboxes: dict[tuple[int, int, int], Store] = {}
         #: aggregate message accounting for reports
         self.messages_sent = 0

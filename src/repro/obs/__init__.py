@@ -23,6 +23,7 @@ makespan.
 from __future__ import annotations
 
 from repro.obs.metrics import (
+    ALERTS_TOTAL,
     COMM_BYTES,
     COMM_HEARTBEATS,
     COMM_MESSAGES,
@@ -42,6 +43,7 @@ from repro.obs.metrics import (
     POLICY_BLOCKS,
     POLICY_CPU_FRACTION,
     POLICY_QUEUE_DEPTH,
+    POLICY_QUEUE_DEPTH_CURRENT,
     POLICY_REFITS,
     POLICY_STEALS,
     RECOVERY_BLOCK_FAILURES,
@@ -67,17 +69,31 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.spans import Span, SpanTracer
+from repro.obs.timeseries import (
+    DEFAULT_SAMPLE_INTERVAL,
+    DEVICE_BUSY_FRACTION,
+    DEVICE_IMBALANCE,
+    LINK_MODEL_RATIO,
+    LINK_UTILIZATION,
+    MetricSampler,
+    Series,
+    SeriesBank,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "IntervalUnion",
+    "MetricSampler",
     "MetricsRegistry",
+    "Series",
+    "SeriesBank",
     "Span",
     "SpanTracer",
     "check_profile",
     "phase_makespan_gap",
+    "ALERTS_TOTAL",
     "COMM_BYTES",
     "COMM_HEARTBEATS",
     "COMM_MESSAGES",
@@ -96,7 +112,13 @@ __all__ = [
     "PHASE_SECONDS",
     "POLICY_BLOCKS",
     "POLICY_CPU_FRACTION",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "DEVICE_BUSY_FRACTION",
+    "DEVICE_IMBALANCE",
+    "LINK_MODEL_RATIO",
+    "LINK_UTILIZATION",
     "POLICY_QUEUE_DEPTH",
+    "POLICY_QUEUE_DEPTH_CURRENT",
     "POLICY_REFITS",
     "POLICY_STEALS",
     "RECOVERY_BLOCK_FAILURES",

@@ -27,12 +27,17 @@ from typing import Any
 
 #: bump when the baseline JSON layout changes incompatibly
 #: (v2: comm-aware critical path — recv waits become attributed slack —
-#: plus per-run comm volume and the slack decomposition)
-SCHEMA_VERSION = 2
+#: plus per-run comm volume and the slack decomposition;
+#: v3: sampler-overhead accounting — engine_events / sampler_samples /
+#: alerts_fired per workload, runs now sample at the default interval)
+SCHEMA_VERSION = 3
 
 #: metrics where a higher current value is a regression
+#: (engine_events gates sampler overhead: the tick-driven sampler must
+#: keep scheduling zero events, so any growth is real simulator work)
 HIGHER_IS_WORSE = ("makespan_s", "critical_path_work_s",
-                   "critical_path_slack_s", "max_abs_drift", "comm_bytes")
+                   "critical_path_slack_s", "max_abs_drift", "comm_bytes",
+                   "engine_events")
 #: metrics where a lower current value is a regression
 LOWER_IS_WORSE = ("gflops",)
 
@@ -45,6 +50,7 @@ ABSOLUTE_FLOORS = {
     "gflops": 1e-3,
     "phase_s": 1e-6,
     "comm_bytes": 1.0,
+    "engine_events": 8.0,
 }
 
 
@@ -94,8 +100,13 @@ DEFAULT_WORKLOADS: tuple[WorkloadSpec, ...] = (
 )
 
 
-def _run_workload(spec: WorkloadSpec):
-    """Execute one spec; returns the finished JobResult."""
+def _run_workload(spec: WorkloadSpec, **config_overrides: Any):
+    """Execute one spec; returns the finished JobResult.
+
+    *config_overrides* are passed to :class:`JobConfig` — the
+    sampler-overhead benchmark uses ``sample_interval=None`` to run the
+    identical workload without time-series sampling.
+    """
     from repro.runtime.job import JobConfig
     from repro.runtime.prs import PRSRuntime
 
@@ -136,7 +147,7 @@ def _run_workload(spec: WorkloadSpec):
         raise ValueError(f"unknown app {spec.app!r}")
 
     cluster = _cluster_for(spec.preset, spec.nodes)
-    config = JobConfig(scheduling=spec.policy)
+    config = JobConfig(scheduling=spec.policy, **config_overrides)
     return PRSRuntime(cluster, config).run(app)
 
 
@@ -164,6 +175,9 @@ def measure_workload(spec: WorkloadSpec) -> dict[str, Any]:
         "decision_records": len(result.trace.audit),
         "comm_messages": len(comm),
         "comm_bytes": comm.total_bytes,
+        "engine_events": result.engine_events,
+        "sampler_samples": result.sampler_samples,
+        "alerts_fired": len(result.alerts),
     }
 
 

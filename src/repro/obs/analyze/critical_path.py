@@ -245,7 +245,15 @@ def critical_path(
         ``wait_on="network"`` slack and pre-send time recurses into the
         sender's rank tree (``wait_on="sender"`` for its envelope gaps).
     """
-    spans = [s for s in tracer.spans if s.end is not None]
+    # Alert spans (rule firings, PR 7) are bookkeeping riding the
+    # tracer, not execution: they must never seed the walk or show up
+    # as a track's root, or the path/slack tiling would attribute
+    # simulated time to something no device executed.
+    spans = [
+        s
+        for s in tracer.spans
+        if s.end is not None and s.category != "alert"
+    ]
     if makespan is None:
         makespan = max((s.end for s in spans), default=0.0)
     if not spans:

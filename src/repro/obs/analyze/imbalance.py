@@ -50,6 +50,7 @@ def _is_block_span(span: Span) -> bool:
         and span.category not in ENVELOPE_CATEGORIES
         and span.category != "recovery"
         and span.category != "recv"
+        and span.category != "alert"
         and not span.track.startswith("rank")
     )
 

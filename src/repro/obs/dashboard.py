@@ -1,0 +1,324 @@
+"""Self-contained HTML run dashboard: sparklines, alerts, phase gantt.
+
+:func:`render_dashboard` turns a :class:`~repro.obs.profile.LoadedProfile`
+into one standalone HTML file — inline CSS, inline SVG, zero external
+assets, zero scripts — so it can be archived as a CI artifact, attached
+to a bug report, or opened from a tarball years later and still render.
+
+Determinism contract: the output is a pure function of the profile
+content.  Ordering is sorted everywhere (series by (name, labels),
+alerts by (start, rule), ranks numerically), colors are assigned by
+CRC-32 of the stable key (never Python's randomized ``hash``), floats
+are formatted through one fixed helper.  Rendering the saved JSONL
+profile of a run therefore yields byte-identical HTML to rendering the
+live run — the property ``repro dashboard`` / ``run --dashboard-out``
+tests pin.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import zlib
+from typing import Any, Sequence
+
+from repro.obs.profile import LoadedProfile
+from repro.obs.rules import alerts_from_tracer
+from repro.obs.timeseries import Series
+
+__all__ = ["render_dashboard"]
+
+#: qualitative palette (colorbrewer Set2 + Dark2 picks) — indexed by
+#: CRC-32 of the series/phase name so colors are stable across runs
+_PALETTE = (
+    "#66c2a5", "#fc8d62", "#8da0cb", "#e78ac3", "#a6d854", "#ffd92f",
+    "#e5c494", "#1b9e77", "#d95f02", "#7570b3", "#e7298a", "#66a61e",
+)
+
+_SEVERITY_COLOR = {"critical": "#d62728", "warning": "#e6a817"}
+
+_CSS = """
+body { font: 13px/1.45 system-ui, sans-serif; margin: 0; padding: 1.2em 2em;
+       color: #222; background: #fafafa; }
+h1 { font-size: 1.35em; margin: 0 0 .2em; }
+h2 { font-size: 1.05em; margin: 1.6em 0 .5em; border-bottom: 1px solid #ddd;
+     padding-bottom: .25em; }
+h3 { font-size: .95em; margin: 1.1em 0 .3em; color: #444; }
+table { border-collapse: collapse; margin: .4em 0; }
+th, td { padding: .22em .7em; text-align: left; border-bottom: 1px solid #e4e4e4;
+         font-size: .92em; }
+th { color: #666; font-weight: 600; }
+.meta { color: #666; margin-bottom: .8em; }
+.meta code { background: #efefef; padding: 0 .3em; border-radius: 3px; }
+.cards { display: flex; flex-wrap: wrap; gap: 10px; }
+.card { background: #fff; border: 1px solid #e2e2e2; border-radius: 4px;
+        padding: 6px 9px; width: 240px; }
+.card .nm { font-size: .82em; color: #333; word-break: break-all; }
+.card .lv { font-size: .8em; color: #888; }
+.sev { display: inline-block; padding: 0 .45em; border-radius: 3px;
+       color: #fff; font-size: .85em; }
+.ok { color: #2a7d2a; font-weight: 600; }
+svg { display: block; }
+.lane text { font-size: 9px; fill: #555; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: float) -> str:
+    """The one float formatter: short, stable, locale-free."""
+    return f"{value:.6g}"
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f} ms"
+
+
+def _color(key: str) -> str:
+    return _PALETTE[zlib.crc32(key.encode("utf-8")) % len(_PALETTE)]
+
+
+def _labels_text(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+# ---------------------------------------------------------------------------
+# SVG pieces
+# ---------------------------------------------------------------------------
+
+
+def _sparkline(series: Series, width: int = 220, height: int = 42) -> str:
+    """One series as an SVG polyline, y-scaled to its own [min, max]."""
+    pts = series.points()
+    if not pts:
+        return f'<svg width="{width}" height="{height}"></svg>'
+    t0, t1 = pts[0][0], pts[-1][0]
+    vs = [v for _, v in pts]
+    vmin, vmax = min(vs), max(vs)
+    tspan = (t1 - t0) or 1.0
+    vspan = (vmax - vmin) or 1.0
+    pad = 3
+    coords = []
+    for t, v in pts:
+        x = pad + (t - t0) / tspan * (width - 2 * pad)
+        y = height - pad - (v - vmin) / vspan * (height - 2 * pad)
+        coords.append(f"{x:.1f},{y:.1f}")
+    color = _color(series.name)
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+        f'<polyline fill="none" stroke="{color}" stroke-width="1.3" '
+        f'points="{" ".join(coords)}"/></svg>'
+    )
+
+
+def _timeline_rect(
+    start: float, end: float, makespan: float, width: int,
+    y: int, h: int, color: str, title: str,
+) -> str:
+    span = makespan or 1.0
+    x = start / span * width
+    w = max((end - start) / span * width, 1.0)
+    return (
+        f'<rect x="{x:.1f}" y="{y}" width="{w:.1f}" height="{h}" '
+        f'fill="{color}"><title>{_esc(title)}</title></rect>'
+    )
+
+
+def _phase_gantt(profile: LoadedProfile, width: int = 840) -> str:
+    """Per-rank strip of the phase spans (category ``phase``)."""
+    makespan = profile.makespan
+    by_rank: dict[int, list] = {}
+    for span in profile.tracer.find(category="phase"):
+        if span.end is None:
+            continue
+        by_rank.setdefault(int(span.attrs.get("rank", 0)), []).append(span)
+    if not by_rank:
+        return "<p>(no phase spans in this profile)</p>"
+    lane_h, gap, label_w = 16, 4, 58
+    rows = sorted(by_rank)
+    height = len(rows) * (lane_h + gap) + gap
+    parts = [
+        f'<svg class="lane" width="{label_w + width}" height="{height}" '
+        f'viewBox="0 0 {label_w + width} {height}">'
+    ]
+    for i, rank in enumerate(rows):
+        y = gap + i * (lane_h + gap)
+        parts.append(
+            f'<text x="0" y="{y + lane_h - 4}">rank {rank}</text>'
+            f'<g transform="translate({label_w},0)">'
+        )
+        for span in sorted(by_rank[rank], key=lambda s: (s.start, s.name)):
+            title = (
+                f"{span.name} it={span.attrs.get('iteration', '?')} "
+                f"[{_fmt_ms(span.start)} - {_fmt_ms(span.end)}]"
+            )
+            parts.append(
+                _timeline_rect(span.start, span.end, makespan, width,
+                               y, lane_h, _color(span.name), title)
+            )
+        parts.append("</g>")
+    parts.append("</svg>")
+    # Legend: phase names in first-appearance order of the sorted walk.
+    seen: list[str] = []
+    for rank in rows:
+        for span in sorted(by_rank[rank], key=lambda s: (s.start, s.name)):
+            if span.name not in seen:
+                seen.append(span.name)
+    legend = " ".join(
+        f'<span class="sev" style="background:{_color(n)}">{_esc(n)}</span>'
+        for n in seen
+    )
+    return "".join(parts) + f"<p>{legend}</p>"
+
+
+def _alert_timeline(alerts: list[dict[str, Any]], makespan: float,
+                    width: int = 840) -> str:
+    lane_h, gap, label_w = 14, 4, 190
+    height = len(alerts) * (lane_h + gap) + gap
+    parts = [
+        f'<svg class="lane" width="{label_w + width}" height="{height}" '
+        f'viewBox="0 0 {label_w + width} {height}">'
+    ]
+    for i, alert in enumerate(alerts):
+        y = gap + i * (lane_h + gap)
+        label = f"{alert['rule']}{_labels_text(alert['labels'])}"
+        color = _SEVERITY_COLOR.get(alert["severity"], "#888")
+        parts.append(
+            f'<text x="0" y="{y + lane_h - 3}">{_esc(label[:34])}</text>'
+            f'<g transform="translate({label_w},0)">'
+        )
+        end = alert["end"] if alert["end"] is not None else makespan
+        title = (
+            f"{alert['rule']} {alert['severity']} "
+            f"[{_fmt_ms(alert['start'])} - {_fmt_ms(end)}] "
+            f"peak {_fmt(alert['peak'] or 0.0)}"
+        )
+        parts.append(
+            _timeline_rect(alert["start"], end, makespan, width,
+                           y, lane_h, color, title)
+        )
+        parts.append("</g>")
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Sections
+# ---------------------------------------------------------------------------
+
+
+def _meta_section(profile: LoadedProfile) -> str:
+    meta = profile.meta
+    if not meta:
+        return (
+            '<p class="meta">spans-only profile (no meta header — '
+            "Chrome trace import)</p>"
+        )
+    bits = []
+    for key in sorted(meta):
+        value = meta[key]
+        if isinstance(value, float):
+            value = _fmt(value)
+        elif isinstance(value, (dict, list)):
+            value = json.dumps(value, sort_keys=True)
+        bits.append(f"{_esc(key)}=<code>{_esc(value)}</code>")
+    return f'<p class="meta">{" ".join(bits)}</p>'
+
+
+def _alerts_section(profile: LoadedProfile) -> str:
+    alerts = alerts_from_tracer(profile.tracer)
+    if not alerts:
+        return '<p class="ok">no alert rules fired</p>'
+    rows = []
+    for alert in alerts:
+        color = _SEVERITY_COLOR.get(alert["severity"], "#888")
+        end = alert["end"] if alert["end"] is not None else profile.makespan
+        rows.append(
+            "<tr>"
+            f'<td><span class="sev" style="background:{color}">'
+            f"{_esc(alert['severity'])}</span></td>"
+            f"<td>{_esc(alert['rule'])}</td>"
+            f"<td><code>{_esc(alert['expr'])}</code></td>"
+            f"<td>{_esc(_labels_text(alert['labels']) or '-')}</td>"
+            f"<td>{_fmt_ms(alert['start'])}</td>"
+            f"<td>{_fmt_ms(end)}</td>"
+            f"<td>{_fmt(alert['peak'] or 0.0)} / "
+            f"{_fmt(alert['threshold'] or 0.0)}</td>"
+            f"<td>{'yes' if alert['resolved'] else 'no'}</td>"
+            "</tr>"
+        )
+    table = (
+        "<table><thead><tr><th>severity</th><th>rule</th><th>expr</th>"
+        "<th>labels</th><th>start</th><th>end</th><th>peak / threshold</th>"
+        "<th>resolved</th></tr></thead><tbody>"
+        + "".join(rows) + "</tbody></table>"
+    )
+    return _alert_timeline(alerts, profile.makespan) + table
+
+
+def _series_section(profile: LoadedProfile) -> str:
+    bank = profile.bank
+    if bank is None or len(bank) == 0:
+        return (
+            "<p>(no sampled series in this profile — run with sampling "
+            "enabled and export the JSONL profile)</p>"
+        )
+    groups: dict[str, list[Series]] = {}
+    for series in bank:  # sorted (name, labels)
+        groups.setdefault(series.name, []).append(series)
+    parts = []
+    for name in sorted(groups):
+        parts.append(f"<h3><code>{_esc(name)}</code></h3>")
+        cards = []
+        for series in groups[name]:
+            last = series.points()[-1][1] if len(series) else 0.0
+            vs = [v for _, v in series.points()]
+            vmin = min(vs) if vs else 0.0
+            vmax = max(vs) if vs else 0.0
+            cards.append(
+                '<div class="card">'
+                f'<div class="nm">{_esc(_labels_text(series.labels) or "(no labels)")}</div>'
+                + _sparkline(series)
+                + f'<div class="lv">last {_fmt(last)} &middot; '
+                f"min {_fmt(vmin)} &middot; max {_fmt(vmax)} &middot; "
+                f"{len(series)} pts"
+                + (f" &middot; {series.dropped} dropped"
+                   if series.dropped else "")
+                + "</div></div>"
+            )
+        parts.append(f'<div class="cards">{"".join(cards)}</div>')
+    return "".join(parts)
+
+
+def render_dashboard(profile: LoadedProfile, title: str | None = None) -> str:
+    """Render *profile* into one standalone deterministic HTML page."""
+    if title is None:
+        app = profile.meta.get("app", "run")
+        policy = profile.meta.get("policy")
+        title = f"PRS dashboard: {app}" + (f" [{policy}]" if policy else "")
+    n_series = len(profile.bank) if profile.bank is not None else 0
+    alerts = alerts_from_tracer(profile.tracer)
+    summary = (
+        f"makespan {_fmt_ms(profile.makespan)} &middot; "
+        f"{len(profile.tracer)} spans &middot; {n_series} series &middot; "
+        f"{len(alerts)} alert(s)"
+    )
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_CSS}</style></head>\n<body>\n"
+        f"<h1>{_esc(title)}</h1>\n"
+        f'<p class="meta">{summary}</p>\n'
+        + _meta_section(profile)
+        + "\n<h2>Alerts</h2>\n" + _alerts_section(profile)
+        + "\n<h2>Phase timeline</h2>\n" + _phase_gantt(profile)
+        + "\n<h2>Sampled series</h2>\n" + _series_section(profile)
+        + "\n</body></html>\n"
+    )

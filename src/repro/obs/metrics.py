@@ -45,6 +45,7 @@ POLICY_STEALS = "prs_policy_steals_total"
 POLICY_REFITS = "prs_policy_refits_total"
 POLICY_CPU_FRACTION = "prs_policy_cpu_fraction"
 POLICY_QUEUE_DEPTH = "prs_policy_queue_depth"
+POLICY_QUEUE_DEPTH_CURRENT = "prs_policy_queue_depth_current"
 SPLIT_CPU_FRACTION = "prs_split_cpu_fraction"
 REGION_OBJECT_ALLOCS = "prs_region_object_allocs_total"
 REGION_BACKING_ALLOCS = "prs_region_backing_allocs_total"
@@ -71,6 +72,7 @@ RECOVERY_CHECKPOINTS = "prs_recovery_checkpoints_total"
 RECOVERY_RANK_RESTARTS = "prs_recovery_rank_restarts_total"
 JOB_MAKESPAN_SECONDS = "prs_job_makespan_seconds"
 JOB_ITERATIONS = "prs_job_iterations"
+ALERTS_TOTAL = "prs_alerts_total"
 
 #: default histogram buckets for simulated durations (seconds)
 DEFAULT_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0)
@@ -146,9 +148,11 @@ class Counter(Metric):
         return [(dict(k), v) for k, v in self._samples.items()]
 
     def render(self) -> list[str]:
+        # Sorted label sets: the text exposition is byte-stable no
+        # matter in which order series were first touched.
         return [
             f"{self.name}{_format_labels(key)} {_format_value(value)}"
-            for key, value in self._samples.items()
+            for key, value in sorted(self._samples.items())
         ]
 
 
@@ -176,7 +180,7 @@ class Gauge(Metric):
     def render(self) -> list[str]:
         return [
             f"{self.name}{_format_labels(key)} {_format_value(value)}"
-            for key, value in self._samples.items()
+            for key, value in sorted(self._samples.items())
         ]
 
 
@@ -261,7 +265,7 @@ class Histogram(Metric):
 
     def render(self) -> list[str]:
         lines: list[str] = []
-        for key, series in self._samples.items():
+        for key, series in sorted(self._samples.items(), key=lambda kv: kv[0]):
             cumulative = 0
             for bound, n in zip(self.bounds, series.bucket_counts):
                 cumulative += n

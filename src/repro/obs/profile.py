@@ -1,0 +1,157 @@
+"""Full-run JSONL profiles: meta + spans + sampled series in one file.
+
+The Chrome trace-event export (``repro trace export --format chrome``)
+carries spans only; this module defines the *profile* format that also
+rides the sampled time-series (:mod:`repro.obs.timeseries`) and a meta
+header, so a saved run can be re-analyzed, re-alerted, and rendered
+into the HTML dashboard byte-for-byte identically to the live run.
+
+Format: one JSON object per line, three line kinds distinguished by a
+discriminating key —
+
+* ``{"profile_meta": {...}}`` — exactly one, first line: schema
+  version plus whatever run context the writer supplies (app, cluster,
+  policy, makespan ...).  Writers must keep it free of wall-clock
+  timestamps and absolute paths so identical runs serialize to
+  identical bytes.
+* ``{"span_id": ..., "name": ..., ...}`` — one per span
+  (:meth:`repro.obs.spans.Span.to_dict`), in recording order.  Alert
+  spans ride along like any other, so the rule firings of the live run
+  survive the round-trip.
+* ``{"series": ..., "labels": ..., "t": [...], "v": [...]}`` — one per
+  sampled series (:meth:`repro.obs.timeseries.Series.to_dict`), in
+  sorted (name, labels) order.
+
+:func:`load_profile` also accepts a plain Chrome trace JSON file
+(spans only, no series) so ``repro dashboard`` works on both.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.spans import SpanTracer
+from repro.obs.timeseries import SeriesBank
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulate.trace import Trace
+
+#: bump when a line kind changes shape; readers reject newer majors
+PROFILE_SCHEMA_VERSION = 1
+
+
+def profile_jsonl(trace: "Trace", meta: dict[str, Any] | None = None) -> str:
+    """Serialize a finished run's observability plane to profile JSONL.
+
+    *meta* is embedded under ``profile_meta`` (schema version added);
+    spans come from ``trace.tracer``, series from ``trace.sampler`` when
+    one is attached (a sampling-disabled run simply has no series
+    lines).
+    """
+    header = {"schema_version": PROFILE_SCHEMA_VERSION}
+    header.update(meta or {})
+    lines = [json.dumps({"profile_meta": header}, sort_keys=True)]
+    lines.extend(
+        json.dumps(span.to_dict(), sort_keys=True)
+        for span in trace.tracer.spans
+    )
+    if trace.sampler is not None:
+        lines.extend(trace.sampler.bank.to_jsonl_lines())
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class LoadedProfile:
+    """A deserialized profile: spans always, series/meta when present."""
+
+    tracer: SpanTracer
+    bank: SeriesBank | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        """Meta makespan when recorded, else the latest span end."""
+        if "makespan_s" in self.meta:
+            return float(self.meta["makespan_s"])
+        return max(
+            (s.end for s in self.tracer.spans if s.end is not None),
+            default=0.0,
+        )
+
+
+def _tracer_from_span_dicts(payloads: list[dict[str, Any]]) -> SpanTracer:
+    """Rebuild a tracer from :meth:`Span.to_dict` payloads, keeping the
+    original span/parent ids (same fix-up :meth:`SpanTracer.from_chrome`
+    applies)."""
+    tracer = SpanTracer()
+    for p in payloads:
+        span = tracer.record(
+            p["name"],
+            p["track"],
+            p["start"],
+            p["end"],
+            category=p.get("category", ""),
+            parent_id=p.get("parent_id"),
+            attrs=dict(p.get("attrs", {})),
+        )
+        span_id = p.get("span_id")
+        if span_id is not None:
+            del tracer._by_id[span.span_id]
+            span.span_id = span_id
+            tracer._by_id[span_id] = span
+            tracer._next_id = max(tracer._next_id, span_id + 1)
+    return tracer
+
+
+def loads_profile(text: str) -> LoadedProfile:
+    """Parse profile JSONL *or* Chrome trace JSON from a string."""
+    if not text.strip():
+        raise ValueError("empty profile")
+    # A Chrome export is one (possibly pretty-printed) JSON object with a
+    # "traceEvents" key; profile JSONL never parses as a single object
+    # (multiple lines) except in degenerate one-line cases, which fall
+    # through to the JSONL path below by lacking "traceEvents".
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        return LoadedProfile(tracer=SpanTracer.from_chrome(payload))
+    meta: dict[str, Any] = {}
+    span_dicts: list[dict[str, Any]] = []
+    series_dicts: list[dict[str, Any]] = []
+    for i, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        if "profile_meta" in obj:
+            meta = dict(obj["profile_meta"])
+        elif "span_id" in obj:
+            span_dicts.append(obj)
+        elif "series" in obj:
+            series_dicts.append(obj)
+        else:
+            raise ValueError(
+                f"profile line {i + 1}: not a meta/span/series object "
+                f"(keys: {sorted(obj)[:4]})"
+            )
+    version = int(meta.get("schema_version", PROFILE_SCHEMA_VERSION))
+    if version > PROFILE_SCHEMA_VERSION:
+        raise ValueError(
+            f"profile schema v{version} is newer than this reader "
+            f"(v{PROFILE_SCHEMA_VERSION})"
+        )
+    return LoadedProfile(
+        tracer=_tracer_from_span_dicts(span_dicts),
+        bank=SeriesBank.from_dicts(series_dicts) if series_dicts else None,
+        meta=meta,
+    )
+
+
+def load_profile(path: str) -> LoadedProfile:
+    """Load a profile file — ``*.profile.jsonl`` or Chrome
+    ``*.trace.json`` — into a :class:`LoadedProfile`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads_profile(fh.read())

@@ -196,6 +196,10 @@ class CpuDaemon:
         yield from self.res.cpu_pool.acquire()
         try:
             start = engine.now
+            # Flush pending sampling-grid instants at dispatch: the
+            # block's own record only lands when it *ends*, which can be
+            # many grid pitches away for coarse blocks.
+            self.trace.tick(start)
             pairs = self.app.cpu_map(block)
             duration = (
                 self.overheads.cpu_task_dispatch_s
@@ -371,6 +375,9 @@ class GpuDaemon:
                 yield engine.timeout(self.overheads.gpu_context_s)
         if self.overheads.gpu_task_dispatch_s > 0:
             yield engine.timeout(self.overheads.gpu_task_dispatch_s)
+        # Same dispatch-time sampler flush as the CPU daemon: coarse
+        # stream blocks should not leave grid instants back-filled late.
+        self.trace.tick(engine.now)
         stream_block = self._stream_block(block)
         faults = self.res.faults
         if faults is not None:

@@ -17,11 +17,13 @@ from typing import Any
 from repro._validation import (
     require_fraction,
     require_nonnegative,
+    require_positive,
     require_positive_int,
 )
 from typing import TYPE_CHECKING
 
 from repro.core.analytic import SplitDecision
+from repro.obs.timeseries import DEFAULT_SAMPLE_INTERVAL
 from repro.runtime.recovery import FaultPolicy, RecoverySummary
 from repro.simulate.trace import Trace
 
@@ -138,6 +140,15 @@ class JobConfig:
     fault_policy: FaultPolicy = field(default_factory=FaultPolicy)
     #: seed for sampling ranged fault parameters (``lo~hi``)
     fault_seed: int = 0
+    #: simulated-clock pitch of the time-series metric sampler
+    #: (:mod:`repro.obs.timeseries`); ``None`` disables sampling.  The
+    #: sampler is tick-driven pure bookkeeping — schedules, spans and
+    #: app outputs are bitwise identical either way.
+    sample_interval: float | None = DEFAULT_SAMPLE_INTERVAL
+    #: alert rules evaluated over the sampled series after the run
+    #: (:func:`repro.obs.rules.builtin_rules` when ``None``); only
+    #: consulted when sampling is enabled
+    alert_rules: Any = None
 
     def __post_init__(self) -> None:
         require_positive_int("gpus_per_node", self.gpus_per_node)
@@ -151,6 +162,8 @@ class JobConfig:
         if not (self.use_cpu or self.use_gpu):
             raise ValueError("at least one of use_cpu/use_gpu must be set")
         require_nonnegative("fault_seed", self.fault_seed)
+        if self.sample_interval is not None:
+            require_positive("sample_interval", self.sample_interval)
         if self.faults is not None:
             # Normalize spec strings/dicts into a FaultPlan now so config
             # errors surface at construction, not mid-job.  Deferred
@@ -209,6 +222,15 @@ class JobResult:
     #: fault-injection/recovery accounting (``None`` when the job ran
     #: without a fault plan)
     recovery: RecoverySummary | None = None
+    #: alert-rule firings over the sampled series (empty when sampling
+    #: was disabled); :class:`repro.obs.rules.AlertEvent` instances
+    alerts: list = field(default_factory=list)
+    #: total events the simulation engine scheduled — the deterministic
+    #: "simulated work" measure the sampler-overhead benchmark compares
+    #: (sampling adds zero engine events by construction)
+    engine_events: int = 0
+    #: total time-series points the sampler captured (0 when disabled)
+    sampler_samples: int = 0
 
     def phase_breakdown(self, rank: int = 0) -> dict[int, dict[str, float]]:
         """Per-iteration ``{phase: seconds}`` on *rank* (see

@@ -49,6 +49,21 @@ class SchedulingPolicy(abc.ABC):
                 n, policy=self.name, device=device_name
             )
 
+    def note_queue_depth(self, depth: int) -> None:
+        """Publish the polling queue's instantaneous depth: a
+        sampler-visible gauge (time-series, alert rules) plus the
+        existing distribution histogram, then tick the trace so a
+        pending sampling-grid instant sees the fresh value.  Pure
+        bookkeeping — never perturbs the simulated schedule."""
+        sched = self.sched
+        self.metrics.gauge(obs.POLICY_QUEUE_DEPTH_CURRENT).set(
+            depth, policy=self.name, node=sched.res.node.name
+        )
+        self.metrics.histogram(
+            obs.POLICY_QUEUE_DEPTH, buckets=obs.COUNT_BUCKETS
+        ).observe(depth, policy=self.name)
+        sched.trace.tick(sched.res.engine.now)
+
     def count_steal(self, device_name: str) -> None:
         """Account one block taken against the policy's affinity."""
         self.metrics.counter(obs.POLICY_STEALS).inc(

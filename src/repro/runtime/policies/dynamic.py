@@ -14,7 +14,6 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Generator
 
-from repro import obs
 from repro.core.granularity import cpu_block_count, min_block_size
 from repro.runtime.api import Block
 from repro.runtime.daemons import CpuDaemon, GpuDaemon
@@ -86,23 +85,20 @@ class DynamicPolicy(SchedulingPolicy):
         queue: deque[Block] = deque(
             partition.split(min(n_blocks, partition.n_items))
         )
-        depth = self.metrics.histogram(
-            obs.POLICY_QUEUE_DEPTH, buckets=obs.COUNT_BUCKETS
-        )
 
         # NB: pollers are generators evaluated lazily — the daemon each one
         # drives must be bound at definition time (default argument), not
         # via the enclosing scope, or a later loop variable would rebind it.
         def cpu_poller(d: CpuDaemon) -> Generator[Event, Any, None]:
             while queue and sched.daemon_active(d):
-                depth.observe(len(queue), policy=self.name)
+                self.note_queue_depth(len(queue))
                 block = queue.popleft()
                 self.count_dispatch(d.device_name)
                 yield from d.run_map_block(block, sink)
 
         def gpu_poller(d: GpuDaemon) -> Generator[Event, Any, None]:
             while queue and sched.daemon_active(d):
-                depth.observe(len(queue), policy=self.name)
+                self.note_queue_depth(len(queue))
                 block = queue.popleft()
                 self.count_dispatch(d.device_name)
                 yield from d.run_map_block(block, sink)
@@ -122,6 +118,7 @@ class DynamicPolicy(SchedulingPolicy):
             )
 
         yield engine.all_of(procs)
+        self.note_queue_depth(len(queue))  # drained (or abandoned) queue
         if queue:
             # Every surviving poller exited with work left (its device
             # died mid-drain): route the leftovers through recovery.

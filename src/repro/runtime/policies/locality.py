@@ -62,12 +62,14 @@ class LocalityDynamicPolicy(SchedulingPolicy):
 
         def cpu_poller(d: CpuDaemon) -> Generator[Event, Any, None]:
             while queue and sched.daemon_active(d):
+                self.note_queue_depth(len(queue))
                 block = pop_for_cpu(d)
                 self.count_dispatch(d.device_name)
                 yield from d.run_map_block(block, sink)
 
         def gpu_poller(d: GpuDaemon) -> Generator[Event, Any, None]:
             while queue and sched.daemon_active(d):
+                self.note_queue_depth(len(queue))
                 block = pop_for_gpu(d)
                 self.count_dispatch(d.device_name)
                 yield from d.run_map_block(block, sink)
@@ -85,6 +87,7 @@ class LocalityDynamicPolicy(SchedulingPolicy):
             )
 
         yield engine.all_of(procs)
+        self.note_queue_depth(len(queue))  # drained (or abandoned) queue
         if queue:
             # Surviving pollers drained out with work left (devices died
             # mid-partition): hand the leftovers to recovery.

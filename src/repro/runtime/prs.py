@@ -68,6 +68,34 @@ class PRSRuntime:
         self.config = config if config is not None else JobConfig()
 
     # ------------------------------------------------------------------
+    def _make_trace(self) -> Trace:
+        """The job's trace, with the time-series sampler attached when
+        ``config.sample_interval`` is set.  Attached before the World is
+        built so the comm layer can register its α/β link model."""
+        trace = Trace()
+        interval = self.config.sample_interval
+        if interval is not None:
+            trace.attach_sampler(obs.MetricSampler(interval=interval))
+        return trace
+
+    def _finish_observability(self, trace: Trace, engine: Engine) -> list:
+        """Post-run signal-plane epilogue: flush the sampling grid to
+        the final makespan, evaluate the alert rules over the sampled
+        series, and record firings as spans + counters.  Runs after the
+        engine has drained, so it cannot perturb the schedule."""
+        sampler = trace.sampler
+        if sampler is None:
+            return []
+        sampler.finalize(engine.now)
+        from repro.obs.rules import evaluate_rules, record_alerts
+
+        alerts = evaluate_rules(
+            sampler.bank, rules=self.config.alert_rules, end=engine.now
+        )
+        record_alerts(trace.tracer, trace.metrics, alerts)
+        return alerts
+
+    # ------------------------------------------------------------------
     def run(self, app: MapReduceApp) -> JobResult:
         """Execute *app* to completion; returns outputs plus timing.
 
@@ -80,7 +108,7 @@ class PRSRuntime:
         if plan is not None and plan:
             return self._run_with_faults(app, plan)
         engine = Engine()
-        trace = Trace()
+        trace = self._make_trace()
         cluster = self.cluster
         config = self.config
         world = World(
@@ -152,6 +180,7 @@ class PRSRuntime:
         trace.finalize(engine.now)
         trace.metrics.gauge(obs.JOB_MAKESPAN_SECONDS).set(engine.now)
         trace.metrics.gauge(obs.JOB_ITERATIONS).set(iterations_done[0])
+        alerts = self._finish_observability(trace, engine)
 
         return JobResult(
             output=dict(final_output),
@@ -172,6 +201,11 @@ class PRSRuntime:
                 for s in schedulers
                 if s.cpu_daemon is not None and s.gpu_daemons
             ],
+            alerts=alerts,
+            engine_events=engine.events_scheduled,
+            sampler_samples=(
+                trace.sampler.total_samples if trace.sampler else 0
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -189,7 +223,7 @@ class PRSRuntime:
         epochs, so the final makespan includes every recovery cost.
         """
         engine = Engine()
-        trace = Trace()
+        trace = self._make_trace()
         cluster = self.cluster
         config = self.config
         policy = config.fault_policy
@@ -446,6 +480,7 @@ class PRSRuntime:
         trace.finalize(engine.now)
         trace.metrics.gauge(obs.JOB_MAKESPAN_SECONDS).set(engine.now)
         trace.metrics.gauge(obs.JOB_ITERATIONS).set(iterations_done[0])
+        alerts = self._finish_observability(trace, engine)
 
         def total(name: str) -> int:
             return int(trace.metrics.counter(name).total())
@@ -480,6 +515,11 @@ class PRSRuntime:
                 if s.cpu_daemon is not None and s.gpu_daemons
             ],
             recovery=summary,
+            alerts=alerts,
+            engine_events=engine.events_scheduled,
+            sampler_samples=(
+                trace.sampler.total_samples if trace.sampler else 0
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -118,6 +118,10 @@ class RecoverySummary:
 
     faults_injected: int = 0
     block_failures: int = 0
+    #: total block re-executions; the live counterpart
+    #: (``prs_recovery_blocks_retried_total``) is sampled into a time
+    #: series, where the builtin ``retry-storm`` alert rule
+    #: (:func:`repro.obs.rules.builtin_rules`) watches for bursts
     blocks_retried: int = 0
     devices_blacklisted: int = 0
     split_refits: int = 0
@@ -136,3 +140,20 @@ class RecoverySummary:
             and self.block_failures == 0
             and self.rank_restarts == 0
         )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view (tuples become lists, ``clean`` included)."""
+        return {
+            "faults_injected": self.faults_injected,
+            "block_failures": self.block_failures,
+            "blocks_retried": self.blocks_retried,
+            "devices_blacklisted": self.devices_blacklisted,
+            "split_refits": self.split_refits,
+            "checkpoints": self.checkpoints,
+            "rank_restarts": self.rank_restarts,
+            "comm_timeouts": self.comm_timeouts,
+            "retransmits": self.retransmits,
+            "heartbeats": self.heartbeats,
+            "dead_nodes": list(self.dead_nodes),
+            "clean": self.clean,
+        }

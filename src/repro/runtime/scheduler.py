@@ -220,6 +220,9 @@ class SubTaskScheduler:
         self, daemon: CpuDaemon | GpuDaemon, block: Block, fatal: bool
     ) -> None:
         """Daemon callback: a map block died on *daemon*."""
+        # Flush pending sampling-grid instants before the failure
+        # counters move, so sampled series date the failure correctly.
+        self.trace.tick(self.res.engine.now)
         name = daemon.device_name
         self.trace.metrics.counter(obs.RECOVERY_BLOCK_FAILURES).inc(
             1, device=name
@@ -438,6 +441,7 @@ class SubTaskScheduler:
             )
             if delay > 0:
                 yield engine.timeout(delay)
+            self.trace.tick(engine.now)  # date the retry burst precisely
             self.trace.metrics.counter(obs.RECOVERY_BLOCKS_RETRIED).inc(
                 len(blocks), node=self.res.node.name
             )

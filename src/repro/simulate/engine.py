@@ -289,6 +289,14 @@ class Engine:
         #: user to bisect the schedule.
         self.diagnostics: list[Callable[[], Optional[str]]] = []
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled on this engine — a deterministic
+        measure of simulated work.  The sampler-overhead benchmark
+        compares this between sampled and unsampled runs (equal by
+        construction: sampling schedules nothing)."""
+        return self._seq
+
     # ------------------------------------------------------------------
     # Factory helpers
     # ------------------------------------------------------------------

@@ -35,6 +35,7 @@ from repro.obs import (
     DEVICE_TASKS,
     PHASE_SECONDS,
     IntervalUnion,
+    MetricSampler,
     MetricsRegistry,
     Span,
     SpanTracer,
@@ -111,6 +112,10 @@ class Trace:
         #: the run's scheduler-decision audit log (pure bookkeeping:
         #: appending records never perturbs the simulated schedule)
         self.audit = DecisionLog()
+        #: optional tick-driven time-series sampler (attach_sampler);
+        #: every mutation below ticks it first, so samples reflect the
+        #: pre-mutation registry state at each elapsed grid instant
+        self.sampler: MetricSampler | None = None
         self._busy_union: dict[str, IntervalUnion] = {}
         #: next message id handed to the communicator(s); trace-owned so
         #: ids stay unique across the worlds of rank-restart epochs
@@ -121,7 +126,25 @@ class Trace:
         self._job_span: dict[int, Span] = {}
 
     # ------------------------------------------------------------------
+    def attach_sampler(self, sampler: MetricSampler) -> MetricSampler:
+        """Bind a :class:`~repro.obs.MetricSampler` to this trace; it
+        will be ticked by every mutation from here on.  Pure
+        bookkeeping: sampling never schedules engine events, so the
+        simulated schedule is bitwise identical with or without it."""
+        sampler.bind(self)
+        self.sampler = sampler
+        return sampler
+
+    def tick(self, now: float) -> None:
+        """Advance the attached sampler (no-op without one, and O(1)
+        when no sampling-grid instant has elapsed)."""
+        sampler = self.sampler
+        if sampler is not None:
+            sampler.advance(now)
+
+    # ------------------------------------------------------------------
     def add(self, record: TaskRecord, attrs: dict | None = None) -> None:
+        self.tick(record.end)
         self._records.append(record)
         m = self.metrics
         device, kind = record.device, record.kind
@@ -180,6 +203,7 @@ class Trace:
         counters or :class:`TaskRecord` views the utilization and
         imbalance reports are built on.
         """
+        self.tick(end)
         self.tracer.record(
             label,
             device,
@@ -322,6 +346,7 @@ class Trace:
         executor passes the node's graph position and blocking edge);
         ``rank``/``iteration`` are reserved keys and always win.
         """
+        self.tick(start)
         track = f"rank{rank}"
         job = self._job_span.get(rank)
         if job is None:
@@ -357,6 +382,7 @@ class Trace:
 
     def end_phase(self, span: Span, end: float) -> None:
         """Close a live phase span and account its duration."""
+        self.tick(end)
         self.tracer.end(span, end)
         rank = span.attrs["rank"]
         if self._open_phase.get(rank) is span:
@@ -393,6 +419,7 @@ class Trace:
     ) -> None:
         """Append a ``recovery``-category span on *rank*'s track (retry
         rounds, restart gaps), parented under its open phase if any."""
+        self.tick(end)
         phase = self._open_phase.get(rank)
         parent = (
             phase.span_id
@@ -416,6 +443,7 @@ class Trace:
         instant instead of being stretched to the final makespan by
         :meth:`finalize`.
         """
+        self.tick(end)
         phase = self._open_phase.pop(rank, None)
         if phase is not None and phase.is_open:
             self.end_phase(phase, max(end, phase.start))

@@ -187,6 +187,41 @@ class TestPrometheusExposition:
                 continue
             assert pattern.match(line), line
 
+    def test_golden_text_with_sorted_label_sets(self):
+        # Byte-for-byte golden: label sets render sorted regardless of
+        # the order they were first touched, so the exposition of a
+        # deterministic run is stable enough to diff / hash in CI.
+        reg = MetricsRegistry()
+        jobs = reg.counter("jobs_total", help="jobs run")
+        jobs.inc(3, node="n1")  # n1 touched before n0 on purpose
+        jobs.inc(1, node="n0")
+        reg.gauge("depth", help="queue depth").set(4, policy="dynamic")
+        assert reg.render() == (
+            "# HELP depth queue depth\n"
+            "# TYPE depth gauge\n"
+            'depth{policy="dynamic"} 4\n'
+            "# HELP jobs_total jobs run\n"
+            "# TYPE jobs_total counter\n"
+            'jobs_total{node="n0"} 1\n'
+            'jobs_total{node="n1"} 3\n'
+        )
+
+    def test_exposition_byte_stable_across_touch_order(self):
+        def build(order):
+            reg = MetricsRegistry()
+            counter = reg.counter("a_total")
+            gauge = reg.gauge("g")
+            hist = reg.histogram("h", buckets=(1.0, 2.0))
+            for node in order:
+                counter.inc(1, node=node)
+                gauge.set(float(len(node)), node=node)
+                hist.observe(1.5, node=node)
+            return reg.render()
+
+        orders = [["n1", "n0", "n2"], ["n2", "n1", "n0"], ["n0", "n2", "n1"]]
+        rendered = {build(order) for order in orders}
+        assert len(rendered) == 1
+
     def test_to_dict_round_trips_through_json(self):
         import json
 

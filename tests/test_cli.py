@@ -361,7 +361,7 @@ class TestBenchCommands:
         assert "wrote baseline" in capsys.readouterr().out
 
         payload = json.loads(base.read_text())
-        assert payload["schema_version"] == 2
+        assert payload["schema_version"] == 3
         assert "cmeans-static" in payload["workloads"]
         assert "gmm-multirank" in payload["workloads"]
 
