@@ -1,0 +1,152 @@
+"""Elastic membership: makespan under a 2 -> 8 -> 4 rank walk.
+
+The elastic driver (:mod:`repro.runtime.membership`) promises two
+things at once:
+
+* **speed follows the live set** — joining ranks mid-job shortens the
+  remaining iterations, draining lengthens them, and the makespan of a
+  walk sits between the static floors/ceilings it crosses;
+* **numerics ignore the walk** — parts are cut once from the full-pool
+  Eq. 8 geometry and reduced in canonical order, so the job's output is
+  bitwise identical no matter how membership moved (docs/FAULTS.md
+  "Elasticity"), even when the walk is overlaid with a rank kill and a
+  degraded-network window.
+
+This benchmark runs a GMM job on an 8-node pool four ways — static 2
+ranks, static 8 ranks, a declarative 2 -> 8 -> 4 walk, and the same
+walk under chaos (rank kill + ``net_slow``) — gates on bitwise output
+identity across all four, and records the makespans as
+``benchmarks/results/BENCH_elastic.json``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _harness import once, save_json, save_table
+from repro.analysis.tables import format_table
+from repro.apps.gmm import GMMApp
+from repro.data.synth import gaussian_mixture
+from repro.hardware import delta_cluster
+from repro.runtime.job import JobConfig
+from repro.runtime.prs import PRSRuntime
+
+POOL = 8
+ITERATIONS = 12  # GMM converges after 8; headroom keeps the tail honest
+
+#: declarative 2 -> 8 -> 4 walk: all six spare nodes join at 40 ms
+#: (one quiesce), four drain back out at 100 ms near the job's tail
+WALK = [
+    "join@2:t=0.04", "join@3:t=0.04", "join@4:t=0.04",
+    "join@5:t=0.04", "join@6:t=0.04", "join@7:t=0.04",
+    "drain@4:t=0.10", "drain@5:t=0.10", "drain@6:t=0.10", "drain@7:t=0.10",
+]
+
+#: the same walk under chaos: a degraded-network window across the
+#: first transition and an involuntary kill while 8 ranks are live
+#: (node 6 dies, so only the other three spares drain back out)
+CHAOS = WALK[:6] + [
+    "net_slow@*:factor=3,t0=0.05,t1=0.07",
+    "rank_kill@6:t=0.07",
+    "drain@4:t=0.10", "drain@5:t=0.10", "drain@7:t=0.10",
+]
+
+
+def _run(faults=None, initial_nodes=2):
+    pts, _, _ = gaussian_mixture(2000, 6, 3, seed=5)
+    app = GMMApp(pts, 3, seed=6, max_iterations=ITERATIONS)
+    config = JobConfig(faults=faults, initial_nodes=initial_nodes)
+    result = PRSRuntime(delta_cluster(n_nodes=POOL), config).run(app)
+    return app, result
+
+
+def _canonical(result):
+    return repr(sorted(result.output.items(), key=lambda kv: repr(kv[0])))
+
+
+def build_sweep():
+    runs = {
+        "static-2": _run(initial_nodes=2),
+        "static-8": _run(initial_nodes=8),
+        "elastic-walk": _run(faults=WALK, initial_nodes=2),
+        "elastic-chaos": _run(faults=CHAOS, initial_nodes=2),
+    }
+    entries = {}
+    rows = []
+    for name, (app, result) in runs.items():
+        rec = result.recovery
+        walk = (
+            " -> ".join(str(len(e.members)) for e in rec.epochs)
+            if rec is not None
+            else str(POOL)
+        )
+        entries[name] = {
+            "makespan_s": result.makespan,
+            "iterations": result.iterations,
+            "rank_walk": walk,
+            "epochs": [e.to_dict() for e in rec.epochs] if rec else [],
+            "joins": rec.joins if rec else 0,
+            "drains": rec.drains if rec else 0,
+            "rank_restarts": rec.rank_restarts if rec else 0,
+            "dead_nodes": list(rec.dead_nodes) if rec else [],
+            "alerts_fired": sorted({a.rule for a in result.alerts}),
+        }
+        rows.append([
+            name,
+            f"{result.makespan * 1e3:.3f} ms",
+            walk,
+            str(entries[name]["joins"]),
+            str(entries[name]["drains"]),
+            str(entries[name]["rank_restarts"]),
+        ])
+    table = format_table(
+        ["run", "makespan", "rank walk", "joins", "drains", "restarts"],
+        rows,
+        title=f"Elastic membership: GMM x{ITERATIONS} on an {POOL}-node pool",
+    )
+    payload = {
+        "schema_version": 1,
+        "benchmark": "elastic",
+        "pool_nodes": POOL,
+        "iterations": ITERATIONS,
+        "walk_specs": WALK,
+        "chaos_specs": CHAOS,
+        "runs": entries,
+    }
+    return runs, table, payload
+
+
+@pytest.mark.benchmark(group="elastic")
+def test_elastic_walk(benchmark):
+    runs, table, payload = once(benchmark, build_sweep)
+    save_table("elastic_walk", table)
+    save_json("elastic", payload)
+
+    base_app, base = runs["static-2"]
+    # Bitwise identity: every run — static, walked, or chaos-walked —
+    # reduces the exact same pair stream (canonical pool geometry).
+    for name, (app, result) in runs.items():
+        np.testing.assert_array_equal(base_app.weights, app.weights)
+        np.testing.assert_array_equal(base_app.means, app.means)
+        np.testing.assert_array_equal(base_app.covariances, app.covariances)
+        assert _canonical(result) == _canonical(base), name
+        assert result.iterations == base.iterations, name
+
+    # Elasticity pays: joining 6 ranks mid-job beats staying at 2, and
+    # cannot beat having all 8 from the start.
+    walk = runs["elastic-walk"][1]
+    assert walk.makespan < base.makespan
+    assert walk.makespan > runs["static-8"][1].makespan
+
+    # The walk actually visited 2 -> 8 -> 4.
+    sizes = [len(e.members) for e in walk.recovery.epochs]
+    assert sizes[0] == 2 and max(sizes) == 8 and sizes[-1] == 4, sizes
+
+    # Chaos run recovered from the kill and still finished the walk.
+    chaos = runs["elastic-chaos"][1]
+    assert chaos.recovery.rank_restarts >= 1
+    assert chaos.recovery.dead_nodes == (6,)
+    assert "membership-churn" in payload["runs"]["elastic-chaos"][
+        "alerts_fired"
+    ]

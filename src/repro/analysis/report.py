@@ -204,6 +204,25 @@ def render_analysis(analysis, top_resources: int = 4, comm: bool = False) -> str
             f"decision audit    : {len(analysis.decisions)} records "
             "(no split decisions to pair with observations)"
         )
+
+    if getattr(analysis, "membership", ()):
+        rows = [
+            [
+                f"{m['time'] * 1e3:.3f} ms",
+                str(m["epoch"]) if m["epoch"] is not None else "?",
+                m["cause"],
+                str(m["node"]) if m["node"] is not None else "-",
+                str(len(str(m["members"]).split(","))) if m["members"] else "?",
+            ]
+            for m in analysis.membership
+        ]
+        sections.append(
+            format_table(
+                ["time", "epoch", "cause", "node", "live ranks"],
+                rows,
+                title="membership timeline (elastic transitions):",
+            )
+        )
     return "\n\n".join(sections)
 
 

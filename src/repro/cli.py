@@ -214,9 +214,43 @@ def _run_job(args: argparse.Namespace):
         faults=args.faults or None,
         fault_seed=fault_seed,
         sample_interval=sample_interval,
+        initial_nodes=args.initial_nodes,
+        autoscale=_parse_autoscale(args.autoscale),
     )
     result = PRSRuntime(cluster, config).run(app)
     return cluster, app, config, result
+
+
+_AUTOSCALE_INT_KNOBS = frozenset(
+    {"min_nodes", "max_nodes", "warmup_iterations"}
+)
+
+
+def _parse_autoscale(values: list[str] | None):
+    """``["min_nodes=2", "max_nodes=6"]`` -> knob dict (``True`` for a
+    bare ``--autoscale``, ``None`` when the flag was absent)."""
+    if values is None:
+        return None
+    knobs: dict[str, float | int] = {}
+    for item in values:
+        if not item:
+            continue
+        if "=" not in item:
+            raise SystemExit(
+                f"--autoscale expects KEY=VAL, got {item!r} "
+                "(see docs/FAULTS.md)"
+            )
+        key, raw = item.split("=", 1)
+        key = key.strip()
+        try:
+            knobs[key] = (
+                int(raw) if key in _AUTOSCALE_INT_KNOBS else float(raw)
+            )
+        except ValueError:
+            raise SystemExit(
+                f"--autoscale {key}: malformed number {raw!r}"
+            ) from None
+    return knobs if knobs else True
 
 
 def _write_profile(result, app, path: str | None) -> str:
@@ -344,6 +378,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"  rank restarts  : {rec.rank_restarts} "
                   f"(dead nodes: {list(rec.dead_nodes) or 'none'}, "
                   f"{rec.checkpoints} checkpoints)")
+        if len(rec.epochs) > 1:
+            walk = " -> ".join(str(len(e.members)) for e in rec.epochs)
+            print(f"  membership     : {len(rec.epochs) - 1} transitions "
+                  f"({rec.joins} joins, {rec.drains} drains, "
+                  f"{rec.autoscale_decisions} autoscale); ranks {walk}")
     totals = result.phase_totals()
     if totals:
         print("phase breakdown (rank 0, summed over iterations):")
@@ -822,6 +861,18 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fault-seed", type=int, default=None,
                         help="seed for sampling ranged (lo~hi) fault "
                              "parameters (default: --seed)")
+    parser.add_argument("--initial-nodes", type=int, default=None,
+                        metavar="N",
+                        help="elastic membership: start on the first N pool "
+                             "nodes; join/drain fault specs and --autoscale "
+                             "then walk the live set within the pool "
+                             "(docs/FAULTS.md 'Elasticity')")
+    parser.add_argument("--autoscale", action="append", metavar="KEY=VAL",
+                        nargs="?", const="", default=None,
+                        help="enable the closed-loop autoscaler; repeatable "
+                             "KEY=VAL knobs (e.g. --autoscale min_nodes=2 "
+                             "--autoscale max_nodes=6); bare flag uses "
+                             "defaults — see docs/FAULTS.md")
     sampling = parser.add_mutually_exclusive_group()
     sampling.add_argument("--no-sample", action="store_true",
                           help="disable the time-series metric sampler "

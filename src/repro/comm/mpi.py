@@ -25,7 +25,7 @@ received arrays as read-only.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Generator
+from typing import Any, Callable, Generator, Sequence
 
 import numpy as np
 
@@ -739,17 +739,29 @@ def heartbeat_sender(
 
 
 def heartbeat_monitor(
-    comm: "RankComm", source: int, timeout: float, abort_event: Event
+    comm: "RankComm",
+    source: int,
+    timeout: float,
+    abort_event: Event,
+    missed_windows: int = 1,
 ) -> Generator[Event, Any, None]:
-    """Consume heartbeats from *source*; on a missed window, fire the
-    epoch's global abort event (once) and exit."""
+    """Consume heartbeats from *source*; after *missed_windows*
+    consecutive missed windows (each *timeout* long), fire the epoch's
+    global abort event (once) and exit.  Any beat received resets the
+    miss counter (``FaultPolicy.heartbeat_missed_windows`` threads the
+    knob through; the historic behaviour is ``missed_windows=1``)."""
     from repro.simulate.engine import Interrupt
 
+    misses = 0
     try:
         while True:
             try:
                 yield from comm.recv(source, HEARTBEAT_TAG, timeout=timeout)
+                misses = 0
             except CommTimeout:
+                misses += 1
+                if misses < missed_windows:
+                    continue
                 if not abort_event.triggered:
                     abort_event.succeed(("rank-silent", source))
                 return
@@ -757,6 +769,81 @@ def heartbeat_monitor(
                 return
     except Interrupt:
         return
+
+
+def spawn_heartbeats(
+    world: "World",
+    policy: Any,
+    abort_event: Event,
+    node_of_rank: Sequence[int],
+) -> list[tuple[int, Any]]:
+    """Wire the epoch's heartbeat layer over a (re)sized communicator.
+
+    Every worker beats to the master and the master beats back; a
+    monitor on each side declares a silent peer dead by firing
+    *abort_event*.  Called by the fault-tolerant/elastic driver once per
+    epoch — after a communicator resize (rank death, join, drain) this
+    is the "heartbeat re-registration" step: monitors are rebuilt for
+    exactly the current live rank numbering.
+
+    *node_of_rank* maps comm rank -> physical pool node (for process
+    bookkeeping); *policy* supplies ``heartbeat_interval_s``,
+    ``heartbeat_miss_factor`` and ``heartbeat_missed_windows``.
+    Returns ``(node_index, process)`` pairs so the caller can register
+    them for rank-kill delivery and interrupt them at epoch end.
+    """
+    engine = world.engine
+    interval = policy.heartbeat_interval_s
+    hb_timeout = interval * policy.heartbeat_miss_factor
+    windows = policy.heartbeat_missed_windows
+    hb_procs: list[tuple[int, Any]] = []
+    for rank in range(world.size):
+        comm = world.comm(rank)
+        if rank == 0:
+            peers = list(range(1, world.size))
+            hb_procs.append(
+                (
+                    node_of_rank[0],
+                    engine.process(
+                        heartbeat_sender(comm, peers, interval),
+                        name="hb-send.r0",
+                    ),
+                )
+            )
+            for src in peers:
+                hb_procs.append(
+                    (
+                        node_of_rank[0],
+                        engine.process(
+                            heartbeat_monitor(
+                                comm, src, hb_timeout, abort_event, windows
+                            ),
+                            name=f"hb-mon.r0.{src}",
+                        ),
+                    )
+                )
+        else:
+            hb_procs.append(
+                (
+                    node_of_rank[rank],
+                    engine.process(
+                        heartbeat_sender(comm, [0], interval),
+                        name=f"hb-send.r{rank}",
+                    ),
+                )
+            )
+            hb_procs.append(
+                (
+                    node_of_rank[rank],
+                    engine.process(
+                        heartbeat_monitor(
+                            comm, 0, hb_timeout, abort_event, windows
+                        ),
+                        name=f"hb-mon.r{rank}.0",
+                    ),
+                )
+            )
+    return hb_procs
 
 
 def run_spmd(

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from repro.obs.metrics import (
     ALERTS_TOTAL,
+    AUTOSCALE_DECISIONS,
     COMM_BYTES,
     COMM_HEARTBEATS,
     COMM_MESSAGES,
@@ -39,6 +40,9 @@ from repro.obs.metrics import (
     ITERATIONS,
     JOB_ITERATIONS,
     JOB_MAKESPAN_SECONDS,
+    MEMBERSHIP_EPOCH,
+    MEMBERSHIP_EVENTS,
+    MEMBERSHIP_LIVE_RANKS,
     PHASE_SECONDS,
     POLICY_BLOCKS,
     POLICY_CPU_FRACTION,
@@ -94,6 +98,7 @@ __all__ = [
     "check_profile",
     "phase_makespan_gap",
     "ALERTS_TOTAL",
+    "AUTOSCALE_DECISIONS",
     "COMM_BYTES",
     "COMM_HEARTBEATS",
     "COMM_MESSAGES",
@@ -109,6 +114,9 @@ __all__ = [
     "ITERATIONS",
     "JOB_ITERATIONS",
     "JOB_MAKESPAN_SECONDS",
+    "MEMBERSHIP_EPOCH",
+    "MEMBERSHIP_EVENTS",
+    "MEMBERSHIP_LIVE_RANKS",
     "PHASE_SECONDS",
     "POLICY_BLOCKS",
     "POLICY_CPU_FRACTION",

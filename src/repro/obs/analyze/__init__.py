@@ -87,10 +87,32 @@ __all__ = [
     "device_loads",
     "find_stragglers",
     "max_abs_drift",
+    "membership_from_tracer",
     "model_drift",
     "observed_splits",
     "steal_summary",
 ]
+
+
+def membership_from_tracer(tracer) -> list[dict[str, Any]]:
+    """Plain-dict view of the ``membership``-category spans (one per
+    epoch transition); saved profiles round-trip these as spans, so this
+    works on reloaded Chrome traces too."""
+    out: list[dict[str, Any]] = []
+    for span in tracer.find(category="membership"):
+        attrs = span.attrs
+        out.append(
+            {
+                "cause": span.name,
+                "time": span.start,
+                "epoch": attrs.get("epoch"),
+                "node": attrs.get("node"),
+                "members": attrs.get("members", ""),
+                "detail": attrs.get("detail", ""),
+            }
+        )
+    out.sort(key=lambda m: (m["time"], m["epoch"] if m["epoch"] is not None else -1))
+    return out
 
 
 @dataclass(frozen=True)
@@ -102,6 +124,9 @@ class TraceAnalysis:
     drift: tuple[DriftPoint, ...]
     decisions: tuple[dict[str, Any], ...]
     comm: CommGraph | None = None
+    #: elastic membership transitions (epoch timeline), read from the
+    #: ``membership``-category spans; empty for non-elastic runs
+    membership: tuple[dict[str, Any], ...] = ()
 
     @property
     def makespan(self) -> float:
@@ -152,6 +177,7 @@ class TraceAnalysis:
             "model_drift": [p.to_dict() for p in self.drift],
             "max_abs_drift": self.max_abs_drift,
             "decisions": list(self.decisions),
+            "membership": list(self.membership),
         }
 
 
@@ -181,6 +207,7 @@ def analyze_tracer(
         drift=tuple(model_drift(tracer, audit)),
         decisions=tuple(audited_decisions(tracer, audit)),
         comm=comm,
+        membership=tuple(membership_from_tracer(tracer)),
     )
 
 

@@ -262,6 +262,33 @@ def _alerts_section(profile: LoadedProfile) -> str:
     return _alert_timeline(alerts, profile.makespan) + table
 
 
+def _membership_section(profile: LoadedProfile) -> str:
+    from repro.obs.analyze import membership_from_tracer
+
+    events = membership_from_tracer(profile.tracer)
+    if not events:
+        return '<p class="ok">static membership (no elastic transitions)</p>'
+    rows = []
+    for m in events:
+        members = str(m["members"])
+        live = len(members.split(",")) if members else 0
+        rows.append(
+            "<tr>"
+            f"<td>{_fmt_ms(m['time'])}</td>"
+            f"<td>{_esc(str(m['epoch']))}</td>"
+            f"<td>{_esc(m['cause'])}</td>"
+            f"<td>{_esc(str(m['node']))}</td>"
+            f"<td>{live}</td>"
+            f"<td>{_esc(str(m['detail']) or '-')}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>time</th><th>epoch</th><th>cause</th>"
+        "<th>node</th><th>live ranks</th><th>detail</th></tr></thead>"
+        "<tbody>" + "".join(rows) + "</tbody></table>"
+    )
+
+
 def _series_section(profile: LoadedProfile) -> str:
     bank = profile.bank
     if bank is None or len(bank) == 0:
@@ -318,6 +345,7 @@ def render_dashboard(profile: LoadedProfile, title: str | None = None) -> str:
         f'<p class="meta">{summary}</p>\n'
         + _meta_section(profile)
         + "\n<h2>Alerts</h2>\n" + _alerts_section(profile)
+        + "\n<h2>Membership</h2>\n" + _membership_section(profile)
         + "\n<h2>Phase timeline</h2>\n" + _phase_gantt(profile)
         + "\n<h2>Sampled series</h2>\n" + _series_section(profile)
         + "\n</body></html>\n"

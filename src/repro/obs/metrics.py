@@ -70,6 +70,10 @@ RECOVERY_DEVICES_BLACKLISTED = "prs_recovery_devices_blacklisted_total"
 RECOVERY_SPLIT_REFITS = "prs_recovery_split_refits_total"
 RECOVERY_CHECKPOINTS = "prs_recovery_checkpoints_total"
 RECOVERY_RANK_RESTARTS = "prs_recovery_rank_restarts_total"
+MEMBERSHIP_EPOCH = "prs_membership_epoch"
+MEMBERSHIP_LIVE_RANKS = "prs_membership_live_ranks"
+MEMBERSHIP_EVENTS = "prs_membership_events_total"
+AUTOSCALE_DECISIONS = "prs_autoscale_decisions_total"
 JOB_MAKESPAN_SECONDS = "prs_job_makespan_seconds"
 JOB_ITERATIONS = "prs_job_iterations"
 ALERTS_TOTAL = "prs_alerts_total"

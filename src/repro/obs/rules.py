@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.obs.metrics import (
     ALERTS_TOTAL,
+    MEMBERSHIP_EVENTS,
     POLICY_QUEUE_DEPTH_CURRENT,
     MetricsRegistry,
 )
@@ -190,6 +191,21 @@ def builtin_rules() -> tuple[Rule, ...]:
             window=5e-3,
             for_s=2e-3,
             severity="critical",
+        ),
+        Rule(
+            name="membership-churn",
+            # Elastic jobs increment prs_membership_events_total once per
+            # applied join/drain/kill transition; two or more inside one
+            # short window means the cluster is thrashing (e.g. an
+            # autoscaler oscillating, or a chaos plan stacking drains).
+            # Jobs without membership tracking never create the series,
+            # so the rule cannot fire on them.
+            expr=f"increase({MEMBERSHIP_EVENTS})",
+            threshold=2.0,
+            window=20e-3,
+            for_s=0.0,
+            severity="warning",
+            op=">=",
         ),
         Rule(
             name="retry-storm",

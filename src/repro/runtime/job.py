@@ -149,6 +149,17 @@ class JobConfig:
     #: (:func:`repro.obs.rules.builtin_rules` when ``None``); only
     #: consulted when sampling is enabled
     alert_rules: Any = None
+    #: elastic membership: start the job on the first N pool nodes
+    #: instead of all of them (``join``/``drain`` events and the
+    #: autoscaler then walk the live set within the pool).  ``None``
+    #: starts on every node; any value routes the job through the
+    #: fault-tolerant/elastic driver.
+    initial_nodes: int | None = None
+    #: closed-loop autoscaler watching the sampled series: an
+    #: :class:`repro.runtime.autoscale.AutoscalePolicy`, a dict of its
+    #: fields, or ``True`` for the defaults.  Requires
+    #: ``sample_interval`` (decisions read the metric time-series).
+    autoscale: Any = None
 
     def __post_init__(self) -> None:
         require_positive_int("gpus_per_node", self.gpus_per_node)
@@ -173,6 +184,19 @@ class JobConfig:
             object.__setattr__(
                 self, "faults", FaultPlan.coerce(self.faults, seed=self.fault_seed)
             )
+        if self.initial_nodes is not None:
+            require_positive_int("initial_nodes", self.initial_nodes)
+        if self.autoscale is not None:
+            from repro.runtime.autoscale import AutoscalePolicy
+
+            object.__setattr__(
+                self, "autoscale", AutoscalePolicy.coerce(self.autoscale)
+            )
+            if self.sample_interval is None:
+                raise ValueError(
+                    "autoscale requires sample_interval: the autoscaler "
+                    "reads the sampled metric time-series"
+                )
         # Validate the policy name against the registry (import deferred:
         # the policies package imports runtime modules that import us).
         from repro.runtime.policies import get_policy

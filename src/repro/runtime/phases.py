@@ -85,6 +85,15 @@ class PhaseContext:
     #: driver-owned checkpoint store (``RecoveryState``) for iterative
     #: restart; None when no faults are configured
     recovery: Any = None
+    #: driver-owned :class:`~repro.runtime.membership.ElasticState` when
+    #: the job is elastic (membership events / autoscaler); rank 0
+    #: consults it at each iteration boundary to decide whether the
+    #: epoch must end for a reconfiguration
+    elastic: Any = None
+    #: elastic numerical mode: keep per-block partials through the
+    #: combine step so the reduce folds the canonical block-ordered
+    #: stream — output is then invariant to the live member count
+    canonical_reduction: bool = False
 
     # -- per-iteration dataflow ----------------------------------------
     my_parts: list[Block] = field(default_factory=list)
@@ -96,6 +105,10 @@ class PhaseContext:
     local_out: dict[Any, Any] = field(default_factory=dict)
     gathered: list[dict[Any, Any]] | None = None
     stop: bool = True
+    #: set by the convergence broadcast when the epoch must end at this
+    #: iteration boundary for a membership change (workers quiesce and
+    #: return instead of stopping the job)
+    reconfigure: bool = False
 
     def __post_init__(self) -> None:
         if self.trace_rank < 0:
@@ -223,6 +236,14 @@ class CombinePhase(Phase):
     name = "combine"
 
     def body(self, ctx: PhaseContext) -> None:
+        if ctx.canonical_reduction:
+            # Elastic jobs skip the per-rank collapse: combining groups
+            # floating-point partials *per rank*, and that grouping — and
+            # therefore the bits of the reduce output — would change with
+            # the live member count.  Keeping the raw per-block partials
+            # makes the reduce fold the same canonical stream whether 2
+            # or 8 ranks mapped it (docs/FAULTS.md "Elasticity").
+            return
         if ctx.app.has_combiner():
             ctx.pairs = apply_combiner(ctx.pairs, ctx.app.combiner)
 
@@ -339,11 +360,38 @@ class ConvergencePhase(Phase):
         ctx.sched.current_iteration = ctx.iteration
         ctx.sched.policy.on_iteration_end(ctx.iteration)
         if ctx.iterative:
-            ctx.stop = yield from ctx.comm.bcast(
-                ctx.stop if ctx.rank == 0 else None,
+            # Convergence-broadcast signal: False = continue, True =
+            # stop, 2 = quiesce for a membership reconfiguration.  The
+            # wire cost is unchanged (bool and int payloads are both 8
+            # bytes), so non-elastic schedules stay bit-identical.
+            signal: Any = ctx.stop
+            if (
+                ctx.rank == 0
+                and ctx.elastic is not None
+                and not ctx.stop
+                and ctx.elastic.should_reconfigure(
+                    ctx.engine.now,
+                    ctx.trace.sampler.bank if ctx.trace.sampler else None,
+                    ctx.world.faults.dead_nodes if ctx.world.faults else set(),
+                    ctx.iteration,
+                )
+            ):
+                if (
+                    ctx.recovery is not None
+                    and ctx.recovery.iteration != ctx.iteration + 1
+                ):
+                    # Boundary checkpoint so the transition is loss-free
+                    # even when the periodic interval did not land here.
+                    ctx.recovery.save(ctx.iteration + 1, ctx.app.checkpoint())
+                    ctx.trace.metrics.counter(obs.RECOVERY_CHECKPOINTS).inc()
+                signal = 2
+            signal = yield from ctx.comm.bcast(
+                signal if ctx.rank == 0 else None,
                 root=0,
                 tag=4000 + ctx.iteration,
             )
+            ctx.reconfigure = signal == 2
+            ctx.stop = bool(signal) and not ctx.reconfigure
 
 
 #: The per-iteration pipeline, in execution order.

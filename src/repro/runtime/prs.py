@@ -36,16 +36,22 @@ from repro.comm.mpi import (
     EpochAborted,
     RankComm,
     World,
-    heartbeat_monitor,
-    heartbeat_sender,
     run_spmd,
+    spawn_heartbeats,
 )
 from repro.core.analytic import node_partition_weights
 from repro.hardware.cluster import Cluster
 from repro.runtime.api import Block, IterativeMapReduceApp, MapReduceApp
 from repro.runtime.daemons import NodeResources
+from repro.runtime.autoscale import Autoscaler
 from repro.runtime.iterative import IterationLog
 from repro.runtime.job import JobConfig, JobResult
+from repro.runtime.membership import (
+    ClusterView,
+    ElasticState,
+    MembershipEvent,
+    MembershipSchedule,
+)
 from repro.runtime.partition import weighted_partition
 from repro.runtime.phases import PhaseContext, SetupPhase, iteration_graph
 from repro.runtime.recovery import (
@@ -56,7 +62,7 @@ from repro.runtime.recovery import (
 )
 from repro.runtime.scheduler import SubTaskScheduler
 from repro.simulate.engine import Engine, Event, Interrupt
-from repro.simulate.faults import FaultState
+from repro.simulate.faults import FaultPlan, FaultState
 from repro.simulate.trace import Trace
 
 
@@ -99,14 +105,22 @@ class PRSRuntime:
     def run(self, app: MapReduceApp) -> JobResult:
         """Execute *app* to completion; returns outputs plus timing.
 
-        With a non-empty ``config.faults`` plan the job runs through the
-        fault-tolerant driver (:meth:`_run_with_faults`); otherwise it
-        takes the original path, which creates exactly the same event
-        schedule as before fault tolerance existed (bit-identical traces).
+        With a non-empty ``config.faults`` plan — or any elastic knob
+        set (``initial_nodes``, ``autoscale``) — the job runs through
+        the fault-tolerant/elastic driver (:meth:`_run_with_faults`);
+        otherwise it takes the original path, which creates exactly the
+        same event schedule as before fault tolerance existed
+        (bit-identical traces).
         """
         plan = self.config.faults
-        if plan is not None and plan:
-            return self._run_with_faults(app, plan)
+        elastic_requested = (
+            self.config.initial_nodes is not None
+            or self.config.autoscale is not None
+        )
+        if (plan is not None and plan) or elastic_requested:
+            return self._run_with_faults(
+                app, plan if plan is not None else FaultPlan()
+            )
         engine = Engine()
         trace = self._make_trace()
         cluster = self.cluster
@@ -221,6 +235,18 @@ class PRSRuntime:
         restores the last checkpoint for iterative apps, and replays from
         there (docs/FAULTS.md).  The engine clock is continuous across
         epochs, so the final makespan includes every recovery cost.
+
+        The same epoch machinery drives *elastic membership*: with
+        ``config.initial_nodes`` / ``config.autoscale`` set or
+        ``join``/``drain`` events in the plan, a
+        :class:`~repro.runtime.membership.ClusterView` tracks the live
+        set, the convergence phase broadcasts a reconfigure signal at
+        the iteration boundary after a transition becomes due, every
+        rank quiesces, and the next epoch refits the Eq. 8 assignment
+        over the new member set — loss-free (a boundary checkpoint is
+        forced first) and bitwise-identical to the fault-free run of the
+        same configuration (canonical full-pool part geometry +
+        order-canonical reduction; docs/FAULTS.md "Elasticity").
         """
         engine = Engine()
         trace = self._make_trace()
@@ -238,6 +264,81 @@ class PRSRuntime:
             # checkpoint still restarts from a well-defined state.
             recovery_state.state = app.checkpoint()
 
+        membership_events = plan.membership_events()
+        elastic_mode = (
+            config.initial_nodes is not None
+            or config.autoscale is not None
+            or bool(membership_events)
+        )
+        if elastic_mode and not iterative:
+            raise ValueError(
+                "elastic membership (initial_nodes / autoscale / join / "
+                "drain events) requires an IterativeMapReduceApp: "
+                "transitions apply at iteration boundaries"
+            )
+        # The versioned membership view is kept for *every* faulted run —
+        # rank kills advance it too — so the recovery summary always
+        # carries the epoch timeline.  The ElasticState (schedule +
+        # autoscaler + reconfigure protocol) only exists in elastic mode.
+        view = ClusterView(
+            cluster.n_nodes,
+            initial=(
+                range(config.initial_nodes)
+                if config.initial_nodes is not None
+                else None
+            ),
+        )
+        elastic: ElasticState | None = None
+        canonical_parts: list[Block] = []
+        if elastic_mode:
+            autoscaler = (
+                Autoscaler(config.autoscale, cluster.n_nodes)
+                if config.autoscale is not None
+                else None
+            )
+            elastic = ElasticState(
+                view,
+                MembershipSchedule(
+                    MembershipEvent(time=e.time, action=e.kind, node=e.node)
+                    for e in membership_events
+                ),
+                autoscaler,
+            )
+            elastic.audit = trace.audit
+            # Pre-touch the membership series at zero so the sampler
+            # records them from t=0 — windowed `increase()` in the
+            # membership-churn alert rule needs samples *before* the
+            # first transition to see the jump.
+            churn = trace.metrics.counter(
+                obs.MEMBERSHIP_EVENTS,
+                help="Applied membership transitions by action.",
+            )
+            for action in (
+                "join",
+                "drain",
+                "rank-kill",
+                "autoscale-up",
+                "autoscale-down",
+            ):
+                churn.inc(0, action=action)
+            trace.metrics.gauge(obs.MEMBERSHIP_EPOCH).set(0.0)
+            trace.metrics.gauge(obs.MEMBERSHIP_LIVE_RANKS).set(
+                float(view.n_live)
+            )
+            # Canonical geometry: parts are cut ONCE from the full-pool
+            # Eq. 8 split and only their *assignment* to live ranks
+            # changes across epochs.  Block boundaries — the only
+            # geometry FP partial sums depend on — are therefore
+            # invariant under joins/drains/kills, which (together with
+            # ctx.canonical_reduction skipping the per-rank combiner
+            # grouping) makes the output bitwise independent of the
+            # membership walk.
+            canonical_parts = [
+                part
+                for parts in self._partition_input(app)
+                for part in parts
+            ]
+
         final_output: dict[Any, Any] = {}
         iteration_log = IterationLog()
         iterations_done = [0]
@@ -247,11 +348,44 @@ class PRSRuntime:
         all_splits: list[Any] = []
 
         while True:
+            if elastic is not None:
+                elastic.check_epoch_budget()
+                for event, rec in elastic.apply_due(
+                    engine.now, faults.dead_nodes
+                ):
+                    trace.metrics.counter(obs.MEMBERSHIP_EVENTS).inc(
+                        1, action=rec.cause
+                    )
+                    trace.record_membership(
+                        rec.cause,
+                        engine.now,
+                        engine.now,
+                        epoch=rec.epoch,
+                        node=event.node,
+                        members=",".join(str(n) for n in rec.members),
+                        detail=rec.detail,
+                    )
+                    trace.audit.record(
+                        kind="membership",
+                        node=f"n{event.node}",
+                        time=engine.now,
+                        iteration=recovery_state.iteration if iterative else 0,
+                        inputs={"action": event.action, "cause": rec.cause},
+                        outputs={
+                            "epoch": rec.epoch,
+                            "members": list(rec.members),
+                        },
+                    )
+                trace.metrics.gauge(obs.MEMBERSHIP_EPOCH).set(view.epoch)
             surviving = [
-                n for n in range(cluster.n_nodes) if n not in faults.dead_nodes
+                n for n in view.members() if n not in faults.dead_nodes
             ]
             if not surviving:
                 raise JobAbortedError("every node in the cluster has failed")
+            if elastic is not None:
+                trace.metrics.gauge(obs.MEMBERSHIP_LIVE_RANKS).set(
+                    len(surviving)
+                )
             dead_at_start = set(faults.dead_nodes)
             sub_cluster = (
                 cluster
@@ -301,7 +435,12 @@ class PRSRuntime:
                 if s.split_decision is not None
             )
 
-            node_partitions = self._partition_input(app, sub_cluster)
+            if elastic is not None:
+                node_partitions = self._assign_canonical_parts(
+                    app, canonical_parts, sub_cluster
+                )
+            else:
+                node_partitions = self._partition_input(app, sub_cluster)
             start_iteration = recovery_state.iteration if iterative else 0
 
             def worker(comm: RankComm) -> Generator[Event, Any, Any]:
@@ -324,6 +463,8 @@ class PRSRuntime:
                     iterations_done=iterations_done,
                     trace_rank=node_idx,
                     recovery=recovery_state if iterative else None,
+                    elastic=elastic,
+                    canonical_reduction=elastic is not None,
                 )
                 ctx.iteration = start_iteration
                 try:
@@ -333,6 +474,10 @@ class PRSRuntime:
                         ctx.iter_start = engine.now
                         ctx.net_before = world.bytes_sent
                         yield from graph.run(ctx)
+                        if ctx.reconfigure:
+                            # Planned membership transition: quiesce at
+                            # this iteration boundary and exit the epoch.
+                            return ("reconfig", node_idx, engine.now)
                         if ctx.stop or not iterative:
                             break
                         ctx.iteration += 1
@@ -370,57 +515,13 @@ class PRSRuntime:
             # epoch abort.  Driver-owned (not worker children) so detection
             # outlives an individually finished worker — otherwise a rank
             # blocked on a dead peer's relay could hang with no detector
-            # left alive.
-            hb_procs = []
+            # left alive.  Rebuilt each epoch, which after a communicator
+            # resize doubles as the heartbeat re-registration step.
+            hb_procs: list[tuple[int, Any]] = []
             if policy.rank_recovery and world.size > 1:
-                interval = policy.heartbeat_interval_s
-                hb_timeout = interval * policy.heartbeat_miss_factor
-                for rank in range(world.size):
-                    comm = world.comm(rank)
-                    if rank == 0:
-                        peers = list(range(1, world.size))
-                        hb_procs.append(
-                            (
-                                surviving[0],
-                                engine.process(
-                                    heartbeat_sender(comm, peers, interval),
-                                    name="hb-send.r0",
-                                ),
-                            )
-                        )
-                        for src in peers:
-                            hb_procs.append(
-                                (
-                                    surviving[0],
-                                    engine.process(
-                                        heartbeat_monitor(
-                                            comm, src, hb_timeout, abort_event
-                                        ),
-                                        name=f"hb-mon.r0.{src}",
-                                    ),
-                                )
-                            )
-                    else:
-                        hb_procs.append(
-                            (
-                                surviving[rank],
-                                engine.process(
-                                    heartbeat_sender(comm, [0], interval),
-                                    name=f"hb-send.r{rank}",
-                                ),
-                            )
-                        )
-                        hb_procs.append(
-                            (
-                                surviving[rank],
-                                engine.process(
-                                    heartbeat_monitor(
-                                        comm, 0, hb_timeout, abort_event
-                                    ),
-                                    name=f"hb-mon.r{rank}.0",
-                                ),
-                            )
-                        )
+                hb_procs = spawn_heartbeats(
+                    world, policy, abort_event, surviving
+                )
                 for node_idx, proc in hb_procs:
                     faults.register_rank_proc(node_idx, proc)
 
@@ -444,6 +545,17 @@ class PRSRuntime:
                 break  # the master completed the job: output is final
 
             new_dead = set(faults.dead_nodes) - dead_at_start
+            reconfig = any(
+                e is not None and e[0] == "reconfig" for e in exits
+            )
+            if reconfig and not new_dead:
+                # Planned membership transition: every rank drained its
+                # in-flight blocks and exited at the iteration boundary,
+                # and the boundary checkpoint was forced before the
+                # reconfigure broadcast — loss-free, so no restart
+                # budget is consumed and no state restore is needed.
+                # The due transitions apply at the top of the loop.
+                continue
             if not new_dead:
                 raise JobAbortedError(
                     f"epoch aborted without an identifiable dead rank "
@@ -463,6 +575,20 @@ class PRSRuntime:
             trace.metrics.counter(obs.RECOVERY_RANK_RESTARTS).inc()
             now = engine.now
             for node_idx in sorted(new_dead):
+                rec = view.leave(node_idx, now)
+                if elastic is not None and rec is not None:
+                    trace.metrics.counter(obs.MEMBERSHIP_EVENTS).inc(
+                        1, action="rank-kill"
+                    )
+                    trace.record_membership(
+                        "rank-kill",
+                        now,
+                        now,
+                        epoch=rec.epoch,
+                        node=node_idx,
+                        members=",".join(str(n) for n in rec.members),
+                        detail=rec.detail,
+                    )
                 trace.close_rank(node_idx, now)
             for node_idx in surviving:
                 if node_idx not in new_dead:
@@ -497,6 +623,18 @@ class PRSRuntime:
             retransmits=total(obs.COMM_RETRANSMITS),
             heartbeats=total(obs.COMM_HEARTBEATS),
             dead_nodes=tuple(sorted(faults.dead_nodes)),
+            joins=sum(
+                1 for r in view.history if r.cause in ("join", "autoscale-up")
+            ),
+            drains=sum(
+                1
+                for r in view.history
+                if r.cause in ("drain", "autoscale-down")
+            ),
+            autoscale_decisions=(
+                elastic.autoscale_decisions if elastic is not None else 0
+            ),
+            epochs=tuple(view.history),
         )
 
         return JobResult(
@@ -521,6 +659,35 @@ class PRSRuntime:
                 trace.sampler.total_samples if trace.sampler else 0
             ),
         )
+
+    # ------------------------------------------------------------------
+    def _assign_canonical_parts(
+        self, app: MapReduceApp, parts: list[Block], sub_cluster: Cluster
+    ) -> list[list[Block]]:
+        """Elastic assignment: deal the canonical full-pool parts out to
+        the live nodes as contiguous runs, in ascending node order.
+
+        Contiguity in *part* order is what keeps the shuffled value
+        lists in global part order no matter how many ranks are live
+        (alltoall concatenates buckets in source-rank order), which is
+        one leg of the bitwise-identity guarantee (docs/FAULTS.md).
+        """
+        if sub_cluster.is_homogeneous:
+            weights = [1.0] * sub_cluster.n_nodes
+        else:
+            weights = node_partition_weights(
+                sub_cluster,
+                app.intensity(),
+                staged=not app.iterative,
+                partition_bytes=max(app.total_bytes(), 1.0),
+                use_cpu=self.config.use_cpu,
+                gpus_per_node=(
+                    self.config.gpus_per_node if self.config.use_gpu else 0
+                ),
+            )
+        return [
+            parts[lo:hi] for lo, hi in weighted_partition(len(parts), weights)
+        ]
 
     # ------------------------------------------------------------------
     def _partition_input(

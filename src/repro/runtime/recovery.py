@@ -68,6 +68,10 @@ class FaultPolicy:
     #: heartbeat cadence and how many missed beats declare a rank dead
     heartbeat_interval_s: float = 2e-3
     heartbeat_miss_factor: float = 10.0
+    #: consecutive missed windows (each ``interval * miss_factor`` long)
+    #: a monitor tolerates before declaring the peer dead; raise to ride
+    #: out long link-degradation windows without a spurious restart
+    heartbeat_missed_windows: int = 1
     #: iterative apps snapshot loop state every this many iterations
     checkpoint_interval: int = 1
     #: whole-job restarts-from-checkpoint allowed before aborting
@@ -87,6 +91,9 @@ class FaultPolicy:
             require_positive("comm_timeout_s", self.comm_timeout_s)
         require_positive("heartbeat_interval_s", self.heartbeat_interval_s)
         require_positive("heartbeat_miss_factor", self.heartbeat_miss_factor)
+        require_positive_int(
+            "heartbeat_missed_windows", self.heartbeat_missed_windows
+        )
         require_positive_int("checkpoint_interval", self.checkpoint_interval)
         require_nonnegative_int("max_rank_restarts", self.max_rank_restarts)
         require_positive("retransmit_timeout_s", self.retransmit_timeout_s)
@@ -131,10 +138,24 @@ class RecoverySummary:
     retransmits: int = 0
     heartbeats: int = 0
     dead_nodes: tuple[int, ...] = field(default_factory=tuple)
+    #: elastic membership accounting (all zero / empty for jobs without
+    #: membership events): planned transitions by kind, autoscaler
+    #: decisions issued, and the full epoch timeline — one
+    #: :class:`~repro.runtime.membership.EpochRecord` per transition
+    #: (including involuntary rank-kill epochs), ``()`` when the job
+    #: never tracked membership
+    joins: int = 0
+    drains: int = 0
+    autoscale_decisions: int = 0
+    epochs: tuple = field(default_factory=tuple)
 
     @property
     def clean(self) -> bool:
-        """True when no fault fired and no recovery action was taken."""
+        """True when no fault fired and no recovery action was taken.
+
+        Planned membership transitions (joins/drains) do *not* make a
+        run unclean — they are scheduled behaviour, not failures.
+        """
         return (
             self.faults_injected == 0
             and self.block_failures == 0
@@ -155,5 +176,34 @@ class RecoverySummary:
             "retransmits": self.retransmits,
             "heartbeats": self.heartbeats,
             "dead_nodes": list(self.dead_nodes),
+            "joins": self.joins,
+            "drains": self.drains,
+            "autoscale_decisions": self.autoscale_decisions,
+            "epochs": [e.to_dict() for e in self.epochs],
             "clean": self.clean,
         }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "RecoverySummary":
+        """Inverse of :meth:`to_dict` (ignores the derived ``clean``)."""
+        from repro.runtime.membership import EpochRecord
+
+        return cls(
+            faults_injected=int(d.get("faults_injected", 0)),
+            block_failures=int(d.get("block_failures", 0)),
+            blocks_retried=int(d.get("blocks_retried", 0)),
+            devices_blacklisted=int(d.get("devices_blacklisted", 0)),
+            split_refits=int(d.get("split_refits", 0)),
+            checkpoints=int(d.get("checkpoints", 0)),
+            rank_restarts=int(d.get("rank_restarts", 0)),
+            comm_timeouts=int(d.get("comm_timeouts", 0)),
+            retransmits=int(d.get("retransmits", 0)),
+            heartbeats=int(d.get("heartbeats", 0)),
+            dead_nodes=tuple(int(n) for n in d.get("dead_nodes", ())),
+            joins=int(d.get("joins", 0)),
+            drains=int(d.get("drains", 0)),
+            autoscale_decisions=int(d.get("autoscale_decisions", 0)),
+            epochs=tuple(
+                EpochRecord.from_dict(e) for e in d.get("epochs", ())
+            ),
+        )

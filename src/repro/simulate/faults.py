@@ -21,9 +21,16 @@ Spec grammar (see docs/FAULTS.md for the full reference)::
     net_slow@*:factor=F,t0=A,t1=B             network wire-time multiplier
     msg_delay@SRC-DEST:delay=D,t0=A,t1=B      extra latency per message
     msg_drop@SRC-DEST:count=N,t0=A            drop next N messages
+    join@NODE:t=T                  membership: node joins the live set
+    drain@NODE:t=T                 membership: node retires gracefully
 
 ``*`` matches any node in SRC/DEST positions.  Any float value may be a
 range ``lo~hi`` sampled uniformly from the plan's seed.
+
+Membership events (``join``/``drain``) are carried by the plan but never
+injected by :class:`FaultState` — the elastic driver applies them at
+iteration boundaries through :mod:`repro.runtime.membership` (see
+docs/FAULTS.md "Elasticity").
 
 Delivery: timed kill/hiccup events are injected by one DES process each
 (spawned once at job start), which marks the device dead and fires its
@@ -77,7 +84,10 @@ _HICCUP_KINDS = frozenset({"gpu_hiccup", "cpu_hiccup"})
 _WINDOW_KINDS = frozenset(
     {"straggler", "pcie_slow", "net_slow", "msg_delay", "msg_drop"}
 )
-KNOWN_KINDS = _KILL_KINDS | _HICCUP_KINDS | _WINDOW_KINDS
+#: elastic membership transitions — parsed and scheduled like faults,
+#: applied by the driver at iteration boundaries, never by FaultState
+MEMBERSHIP_KINDS = frozenset({"join", "drain"})
+KNOWN_KINDS = _KILL_KINDS | _HICCUP_KINDS | _WINDOW_KINDS | MEMBERSHIP_KINDS
 
 
 @dataclass(frozen=True)
@@ -106,53 +116,94 @@ class FaultEvent:
         return f"n{self.node}.cpu"
 
 
-def _sample(value: str, rng: np.random.Generator) -> float:
+def _fail(message: str, spec: Any, pos: int | None) -> None:
+    """Raise a :class:`FaultSpecError` that quotes the offending spec
+    and the character position of the bad token (``pos=None`` for dict
+    specs, where offsets are meaningless)."""
+    if pos is None:
+        raise FaultSpecError(f"{message} in spec {spec!r}")
+    raise FaultSpecError(f"{message} in spec {spec!r} at position {pos}")
+
+
+def _sample(
+    value: str,
+    rng: np.random.Generator,
+    spec: Any = None,
+    pos: int | None = None,
+) -> float:
     """Parse a float or a ``lo~hi`` uniform range."""
     if "~" in value:
         lo_s, hi_s = value.split("~", 1)
-        lo, hi = float(lo_s), float(hi_s)
+        try:
+            lo, hi = float(lo_s), float(hi_s)
+        except ValueError:
+            _fail(f"malformed range {value!r}", spec, pos)
         if hi < lo:
-            raise FaultSpecError(f"empty range {value!r}")
+            _fail(f"empty range {value!r} (hi < lo)", spec, pos)
         return float(rng.uniform(lo, hi))
-    return float(value)
+    try:
+        return float(value)
+    except ValueError:
+        _fail(f"malformed number {value!r}", spec, pos)
+        raise AssertionError("unreachable")  # pragma: no cover
 
 
-def _parse_target(kind: str, target: str) -> dict[str, Any]:
-    """Interpret the ``@target`` part for each fault kind."""
+def _int_field(label: str, text: str, spec: Any, pos: int | None) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        _fail(f"{label} must be an integer, got {text!r}", spec, pos)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _parse_target(
+    kind: str, target: str, spec: Any = None, pos: int | None = None
+) -> dict[str, Any]:
+    """Interpret the ``@target`` part for each fault kind.
+
+    *spec*/*pos* locate the target inside the original spec string so
+    parse errors can quote exactly where they happened.
+    """
     out: dict[str, Any] = {}
     if kind in ("msg_delay", "msg_drop"):
         if "-" not in target:
-            raise FaultSpecError(
-                f"{kind} needs a SRC-DEST target, got {target!r}"
-            )
+            _fail(f"{kind} needs a SRC-DEST target, got {target!r}", spec, pos)
         src_s, dest_s = target.split("-", 1)
-        out["src"] = None if src_s == "*" else int(src_s)
-        out["dest"] = None if dest_s == "*" else int(dest_s)
+        out["src"] = (
+            None if src_s == "*" else _int_field("SRC", src_s, spec, pos)
+        )
+        out["dest"] = (
+            None if dest_s == "*" else _int_field("DEST", dest_s, spec, pos)
+        )
         return out
     if kind == "net_slow":
         if target not in ("", "*"):
-            raise FaultSpecError(
-                f"net_slow targets the whole network; use '*', got {target!r}"
+            _fail(
+                f"net_slow targets the whole network; use '*', got {target!r}",
+                spec,
+                pos,
             )
         return out
     if kind == "straggler":
         if "." not in target:
-            raise FaultSpecError(
-                f"straggler needs NODE.cpu or NODE.gpuK, got {target!r}"
+            _fail(
+                f"straggler needs NODE.cpu or NODE.gpuK, got {target!r}",
+                spec,
+                pos,
             )
         node_s, dev = target.split(".", 1)
         if dev != "cpu" and not (dev.startswith("gpu") and dev[3:].isdigit()):
-            raise FaultSpecError(f"unknown straggler device {dev!r}")
-        out["node"] = int(node_s)
+            _fail(f"unknown straggler device {dev!r}", spec, pos)
+        out["node"] = _int_field("NODE", node_s, spec, pos)
         out["device"] = dev
         return out
     # node-targeted kinds; gpu kinds accept NODE.GPU
     if "." in target and kind in ("gpu_kill", "gpu_hiccup"):
         node_s, gpu_s = target.split(".", 1)
-        out["node"] = int(node_s)
-        out["gpu"] = int(gpu_s)
+        out["node"] = _int_field("NODE", node_s, spec, pos)
+        out["gpu"] = _int_field("GPU", gpu_s, spec, pos)
     else:
-        out["node"] = int(target)
+        out["node"] = _int_field("node target", target, spec, pos)
         if kind in ("gpu_kill", "gpu_hiccup"):
             out["gpu"] = 0
     return out
@@ -165,53 +216,84 @@ _FLOAT_PARAMS = frozenset({"time", "until", "factor", "delay"})
 def parse_fault_spec(
     spec: str | Mapping[str, Any], rng: np.random.Generator
 ) -> FaultEvent:
-    """Normalize one spec string or dict into a :class:`FaultEvent`."""
+    """Normalize one spec string or dict into a :class:`FaultEvent`.
+
+    Parse errors quote the offending spec and — for string specs — the
+    character position of the bad token, so a typo inside a long
+    ``--faults`` list is findable without bisecting the plan.
+    """
+    #: (raw_key, value, position-of-item) triples to normalize
+    positions: dict[str, int | None] = {}
     if isinstance(spec, Mapping):
         params = dict(spec)
         kind = params.pop("kind", None)
         if kind not in KNOWN_KINDS:
-            raise FaultSpecError(f"unknown fault kind {kind!r}")
+            _fail(
+                f"unknown fault kind {kind!r}; known kinds: "
+                + ", ".join(sorted(KNOWN_KINDS)),
+                spec,
+                None,
+            )
     else:
         text = spec.strip()
+        base = len(spec) - len(spec.lstrip())  # offset of text within spec
         head, _, tail = text.partition(":")
-        kind, _, target = head.partition("@")
+        kind, at, target = head.partition("@")
         kind = kind.strip()
         if kind not in KNOWN_KINDS:
-            raise FaultSpecError(
-                f"unknown fault kind {kind!r} in {spec!r}; known kinds: "
-                + ", ".join(sorted(KNOWN_KINDS))
+            _fail(
+                f"unknown fault kind {kind!r}; known kinds: "
+                + ", ".join(sorted(KNOWN_KINDS)),
+                spec,
+                base,
             )
-        params = _parse_target(kind, target.strip())
-        for item in filter(None, (p.strip() for p in tail.split(","))):
+        target_pos = base + len(kind) + len(at)
+        params = _parse_target(kind, target.strip(), spec, target_pos)
+        cursor = base + len(head) + 1  # first char after ':'
+        for part in tail.split(","):
+            item = part.strip()
+            item_pos = cursor + (len(part) - len(part.lstrip()))
+            cursor += len(part) + 1
+            if not item:
+                continue
             if "=" not in item:
-                raise FaultSpecError(f"malformed parameter {item!r} in {spec!r}")
+                _fail(
+                    f"malformed parameter {item!r} (expected key=value)",
+                    spec,
+                    item_pos,
+                )
             key, _, value = item.partition("=")
             params[key.strip()] = value.strip()
+            positions[key.strip()] = item_pos
 
     fields_: dict[str, Any] = {"kind": kind}
     for raw_key, value in params.items():
         key = _PARAM_ALIASES.get(raw_key, raw_key)
+        pos = positions.get(raw_key)
         if key not in FaultEvent.__dataclass_fields__ or key == "kind":
-            raise FaultSpecError(f"unknown parameter {raw_key!r} for {kind}")
+            _fail(f"unknown parameter {raw_key!r} for {kind}", spec, pos)
         if key in _FLOAT_PARAMS and isinstance(value, str):
-            value = _sample(value, rng)
+            value = _sample(value, rng, spec, pos)
         elif key == "count" and isinstance(value, str):
-            value = int(value)
+            value = _int_field("count", value, spec, pos)
         elif isinstance(value, str) and value.isdigit():
             value = int(value)
         fields_[key] = value
 
     event = FaultEvent(**fields_)
-    if event.kind in _KILL_KINDS | _HICCUP_KINDS and event.node is None:
-        raise FaultSpecError(f"{kind} needs a node target")
+    needs_node = _KILL_KINDS | _HICCUP_KINDS | MEMBERSHIP_KINDS
+    if event.kind in needs_node and event.node is None:
+        _fail(f"{kind} needs a node target", spec, None)
     if event.kind == "straggler" and event.device is None:
-        raise FaultSpecError("straggler needs NODE.cpu or NODE.gpuK")
+        _fail("straggler needs NODE.cpu or NODE.gpuK", spec, None)
     if event.until < event.time:
-        raise FaultSpecError(
-            f"window ends before it starts: t0={event.time}, t1={event.until}"
+        _fail(
+            f"window ends before it starts: t0={event.time}, t1={event.until}",
+            spec,
+            None,
         )
     if event.factor <= 0.0:
-        raise FaultSpecError(f"factor must be > 0, got {event.factor}")
+        _fail(f"factor must be > 0, got {event.factor}", spec, None)
     return event
 
 
@@ -224,6 +306,19 @@ class FaultPlan:
 
     def __bool__(self) -> bool:
         return bool(self.events)
+
+    def membership_events(self) -> tuple[FaultEvent, ...]:
+        """The plan's ``join``/``drain`` events, in spec order (the
+        elastic driver schedules these; FaultState ignores them)."""
+        return tuple(
+            e for e in self.events if e.kind in MEMBERSHIP_KINDS
+        )
+
+    def fault_events(self) -> tuple[FaultEvent, ...]:
+        """Every non-membership event (what FaultState injects/scans)."""
+        return tuple(
+            e for e in self.events if e.kind not in MEMBERSHIP_KINDS
+        )
 
     @classmethod
     def from_specs(

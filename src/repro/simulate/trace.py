@@ -42,6 +42,14 @@ from repro.obs import (
 )
 from repro.obs.analyze.audit import DecisionLog
 
+#: span track membership-transition spans land on (their own lane in
+#: exports, mirroring the ``alerts`` track)
+MEMBERSHIP_TRACK = "membership"
+
+#: span category of membership spans — analysis passes that walk the
+#: phase tree or pair comm spans skip this category entirely
+MEMBERSHIP_CATEGORY = "membership"
+
 
 @dataclass(frozen=True)
 class TaskRecord:
@@ -433,6 +441,24 @@ class Trace:
             end,
             category="recovery",
             parent_id=parent,
+            attrs=dict(attrs) if attrs else None,
+        )
+
+    def record_membership(
+        self, label: str, start: float, end: float, **attrs
+    ) -> None:
+        """Append a ``membership``-category span on the dedicated
+        ``membership`` track (one per epoch transition).  Parentless and
+        closed, like alert spans, so tree-walking analysis passes ignore
+        it while exports get their own membership lane."""
+        self.tick(end)
+        self.tracer.record(
+            label,
+            MEMBERSHIP_TRACK,
+            start,
+            max(end, start),
+            category=MEMBERSHIP_CATEGORY,
+            parent_id=None,
             attrs=dict(attrs) if attrs else None,
         )
 

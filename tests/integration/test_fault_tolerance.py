@@ -85,6 +85,69 @@ class TestDegradedMakespan:
         assert clean.makespan < faulted.makespan <= bound
 
 
+class TestCombinedPlanBound:
+    """``degraded_makespan_bound`` composes: a kill's capacity-loss
+    inflation plus window degradations folded into ``overhead_s``."""
+
+    NET_F, NET_T0, NET_T1 = 3.0, 0.02, 0.05
+
+    def _apps(self):
+        from repro.apps.cmeans import CMeansApp
+
+        pts = _points()
+        return (
+            CMeansApp(pts, 3, seed=6, max_iterations=4, epsilon=1e-12),
+            CMeansApp(pts, 3, seed=6, max_iterations=4, epsilon=1e-12),
+        )
+
+    def test_gpu_kill_plus_net_slow_within_composed_bound(self):
+        clean_app, faulted_app = self._apps()
+        clean = _run(clean_app)
+        faulted = _run(
+            faulted_app,
+            faults=[
+                f"gpu_kill@0:t={KILL_T}",
+                f"net_slow@*:factor={self.NET_F},t0={self.NET_T0},"
+                f"t1={self.NET_T1}",
+            ],
+        )
+        split = clean.splits[0]
+        lost = split.gpu_fraction / 2
+        # A degraded window [t0, t1] can stall the critical path by at
+        # most the work it would have carried: (t1-t0) * (factor-1).
+        net_overhead = (self.NET_T1 - self.NET_T0) * (self.NET_F - 1.0)
+        bound = degraded_makespan_bound(
+            clean.makespan, KILL_T, lost, overhead_s=net_overhead
+        )
+        assert clean.makespan < faulted.makespan <= bound
+        # ... and numerical identity survives the combined plan.
+        np.testing.assert_array_equal(clean_app.centers, faulted_app.centers)
+        assert repr(_canonical_output(clean)) == repr(
+            _canonical_output(faulted)
+        )
+
+    def test_gpu_kill_plus_straggler_within_composed_bound(self):
+        strag_f, strag_t0, strag_t1 = 2.0, 0.02, 0.06
+        clean_app, faulted_app = self._apps()
+        clean = _run(clean_app)
+        faulted = _run(
+            faulted_app,
+            faults=[
+                f"gpu_kill@0:t={KILL_T}",
+                f"straggler@1.cpu:factor={strag_f},t0={strag_t0},"
+                f"t1={strag_t1}",
+            ],
+        )
+        split = clean.splits[0]
+        lost = split.gpu_fraction / 2
+        strag_overhead = (strag_t1 - strag_t0) * (strag_f - 1.0)
+        bound = degraded_makespan_bound(
+            clean.makespan, KILL_T, lost, overhead_s=strag_overhead
+        )
+        assert clean.makespan < faulted.makespan <= bound
+        np.testing.assert_array_equal(clean_app.centers, faulted_app.centers)
+
+
 class TestFaultedDeterminism:
     SPECS = [
         "gpu_kill@0:t=0.025~0.04",  # ranged: exercises seeded sampling

@@ -92,6 +92,41 @@ class TestSpecParsing:
         with pytest.raises(FaultSpecError):
             parse_fault_spec({"kind": "nope"}, _rng())
 
+    def test_join_and_drain_membership_specs(self):
+        join = parse_fault_spec("join@2:t=0.04", _rng())
+        assert (join.kind, join.node, join.time) == ("join", 2, 0.04)
+        drain = parse_fault_spec("drain@5:at=0.1", _rng())
+        assert (drain.kind, drain.node, drain.time) == ("drain", 5, 0.1)
+
+    def test_membership_specs_need_a_node(self):
+        with pytest.raises(
+            FaultSpecError, match="node target must be an integer"
+        ):
+            parse_fault_spec("join@*:t=0.04", _rng())
+
+    def test_errors_quote_spec_and_position(self):
+        # the position points at the offending token, not the spec start
+        spec = "gpu_kill@0:t=0.1,warp=9"
+        with pytest.raises(FaultSpecError) as exc:
+            parse_fault_spec(spec, _rng())
+        message = str(exc.value)
+        assert repr(spec) in message
+        assert f"at position {spec.index('warp')}" in message
+
+    def test_unknown_kind_error_points_at_spec_start(self):
+        spec = "  quantum_flip@0:t=1"
+        with pytest.raises(FaultSpecError) as exc:
+            parse_fault_spec(spec, _rng())
+        message = str(exc.value)
+        assert repr(spec) in message
+        assert f"at position {spec.index('quantum')}" in message
+
+    def test_dict_spec_errors_omit_position(self):
+        with pytest.raises(FaultSpecError) as exc:
+            parse_fault_spec({"kind": "gpu_kill", "warp": 9}, _rng())
+        message = str(exc.value)
+        assert "position" not in message and "warp" in message
+
 
 class TestFaultPlan:
     def test_ranged_sampling_is_seed_deterministic(self):
@@ -115,6 +150,13 @@ class TestFaultPlan:
         assert FaultPlan.coerce("gpu_kill@0:t=0.1").events == plan.events
         assert FaultPlan.coerce(["gpu_kill@0:t=0.1"]).events == plan.events
         assert bool(plan)
+
+    def test_membership_events_split_from_fault_events(self):
+        plan = FaultPlan.from_specs(
+            ["join@2:t=0.04", "gpu_kill@0:t=0.03", "drain@2:t=0.1"]
+        )
+        assert [e.kind for e in plan.membership_events()] == ["join", "drain"]
+        assert [e.kind for e in plan.fault_events()] == ["gpu_kill"]
 
 
 def _state(specs, seed=0):

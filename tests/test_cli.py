@@ -106,6 +106,38 @@ class TestRun:
         with pytest.raises(ValueError):
             main(["run", "--faults", "quantum_flip@0:t=1"])
 
+    def test_elastic_run_reports_membership(self, capsys):
+        code = main([
+            "run", "--app", "gmm", "--size", "2000", "--dims", "6",
+            "--nodes", "4", "--iterations", "4", "--initial-nodes", "2",
+            "--faults", "join@2:t=0.03",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "membership     : 1 transitions (1 joins, 0 drains" in out
+        assert "ranks 2 -> 3" in out
+
+    def test_elastic_json_includes_epochs(self, capsys):
+        import json
+
+        code = main([
+            "run", "--app", "gmm", "--size", "2000", "--dims", "6",
+            "--nodes", "4", "--iterations", "4", "--initial-nodes", "2",
+            "--faults", "join@2:t=0.03", "--faults", "drain@2:t=0.05",
+            "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        rec = payload["recovery"]
+        assert rec["joins"] == 1 and rec["drains"] == 1
+        causes = [e["cause"] for e in rec["epochs"]]
+        assert causes == ["start", "join", "drain"]
+        assert rec["epochs"][0]["members"] == [0, 1]
+
+    def test_bad_autoscale_knob_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--autoscale", "min_nodes=lots"])
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
