@@ -14,19 +14,51 @@ workload — default sampling vs ``sample_interval=None`` — and gates on:
 * a non-trivial number of captured samples, so the zero-overhead claim
   is not vacuous.
 
-Regenerates ``benchmarks/results/BENCH_obs_overhead.json``.
+The host self-profiler (:mod:`repro.obs.selfprof`) makes the same
+promise one level down: it watches the *simulator's own* wall-clock, so
+``test_selfprof_overhead`` gates that a selfprofiled run (a) leaves all
+simulated results — engine events, makespan, reduce outputs, sampler
+samples — bitwise identical, and (b) costs under 5% extra host time
+over the sweep.  Host timing on a shared box is noisy on the scale of
+whole runs (this repo's CI shares one core), so the estimator is built
+to survive it: the gate metric is process *CPU* time (immune to other
+processes stealing the core — profiling overhead is CPU work, so CPU
+time is also the honest metric), plain/selfprof runs alternate with the
+order flipped every round (cancels warm-cache position bias), each
+adjacent pair yields one ratio, the per-workload number is the *median*
+over pairs, the sweep number is the CPU-weighted mean of those medians
+— and the gate takes the best of up to three attempts, because even
+this estimator can read several percent high when a noisy neighbor
+pollutes the cache for a whole attempt.  A real regression (scopes
+suddenly costing 2x) fails all three; every attempt is recorded in the
+saved JSON so a trajectory of near-misses is visible.
+
+Regenerates ``benchmarks/results/BENCH_obs_overhead.json`` and
+``benchmarks/results/BENCH_selfprof_overhead.json``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from _harness import once, save_json, save_table
+from statistics import median
+from time import perf_counter, process_time
+
+from _harness import LAST_WALL, WALL_ROUNDS, once, save_json, save_table
 from repro.analysis.tables import format_table
 from repro.obs.analyze.baseline import DEFAULT_WORKLOADS, _run_workload
 
 #: hard ceiling on relative engine-event overhead from sampling
 MAX_EVENT_OVERHEAD = 0.03
+
+#: hard ceiling on relative host CPU-time overhead of ``selfprof=True``
+#: over the whole sweep (per-workload numbers are recorded but not gated
+#: — sub-second runs are too noisy individually)
+MAX_SELFPROF_OVERHEAD = 0.05
+
+#: measurement attempts before the overhead gate gives up; a clean host
+#: passes on the first, a noisy one on a retry, a real regression never
+MAX_OVERHEAD_ATTEMPTS = 3
 
 
 def build_sweep():
@@ -88,3 +120,124 @@ def test_sampler_overhead(benchmark):
             "engine_events_unsampled"], name
         assert entry["makespan_identical"], name
         assert entry["sampler_samples"] > 100, (name, "vacuous sweep?")
+
+
+def _canon_output(output):
+    """Bitwise-comparable form of a reduce-output dict (ndarray-safe)."""
+    return {
+        str(k): v.tobytes() if hasattr(v, "tobytes") else repr(v)
+        for k, v in output.items()
+    }
+
+
+def build_selfprof_sweep():
+    entries = {}
+    rows = []
+    weights: dict[str, tuple[float, float]] = {}
+    for spec in DEFAULT_WORKLOADS:
+        # One warmup per side, then paired timed rounds with the order
+        # flipped every round; each pair yields one CPU-time ratio.
+        plain = _run_workload(spec)
+        prof = _run_workload(spec, selfprof=True)
+        wp: list[float] = []
+        ws: list[float] = []
+        cp: list[float] = []
+        cs: list[float] = []
+
+        def timed(runner, walls, cpus):
+            t0, c0 = perf_counter(), process_time()
+            out = runner()
+            cpus.append(process_time() - c0)
+            walls.append(perf_counter() - t0)
+            return out
+
+        for i in range(WALL_ROUNDS + 2):
+            if i % 2 == 0:
+                plain = timed(lambda: _run_workload(spec), wp, cp)
+                prof = timed(
+                    lambda: _run_workload(spec, selfprof=True), ws, cs)
+            else:
+                prof = timed(
+                    lambda: _run_workload(spec, selfprof=True), ws, cs)
+                plain = timed(lambda: _run_workload(spec), wp, cp)
+        ratio = median(s / p for p, s in zip(cp, cs))
+        LAST_WALL[f"{spec.name}-plain"] = {
+            "min_s": min(wp), "max_s": max(wp), "rounds": len(wp)}
+        LAST_WALL[f"{spec.name}-selfprof"] = {
+            "min_s": min(ws), "max_s": max(ws), "rounds": len(ws)}
+        weights[spec.name] = (ratio, min(cp))
+        host = prof.selfprofile
+        entries[spec.name] = {
+            "spec": spec.to_dict(),
+            "wall_s_plain": min(wp),
+            "wall_s_selfprof": min(ws),
+            "cpu_s_plain": min(cp),
+            "cpu_s_selfprof": min(cs),
+            "cpu_overhead": ratio - 1.0,
+            "engine_events_identical":
+                prof.engine_events == plain.engine_events,
+            "makespan_identical": prof.makespan == plain.makespan,
+            "outputs_identical":
+                _canon_output(prof.output) == _canon_output(plain.output),
+            "sampler_samples_identical":
+                prof.sampler_samples == plain.sampler_samples,
+            "plain_has_no_profile": plain.selfprofile is None,
+            "hotspots": len(host.top_exclusive(10)) if host else 0,
+        }
+        rows.append([
+            spec.name,
+            f"{min(cp) * 1e3:.1f}",
+            f"{min(cs) * 1e3:.1f}",
+            f"{ratio - 1.0:+.1%}",
+            "yes" if entries[spec.name]["engine_events_identical"]
+            and entries[spec.name]["makespan_identical"]
+            and entries[spec.name]["outputs_identical"] else "NO",
+        ])
+    # Sweep overhead: CPU-weighted mean of the per-workload median
+    # ratios — a long workload's overhead counts for more than a 30 ms
+    # one's, mirroring what a user-visible slowdown would feel like.
+    total_cpu = sum(p for _, p in weights.values())
+    overall = sum((r - 1.0) * p / total_cpu for r, p in weights.values())
+    table = format_table(
+        ["workload", "cpu off (ms)", "cpu on (ms)", "overhead",
+         "results identical"],
+        rows,
+        title=(f"Self-profiler overhead: host CPU time with selfprof on "
+               f"vs off (sweep {overall:+.1%})"),
+    )
+    payload = {
+        "schema_version": 1,
+        "benchmark": "selfprof_overhead",
+        "max_cpu_overhead": MAX_SELFPROF_OVERHEAD,
+        "cpu_overhead_total": overall,
+        "workloads": entries,
+    }
+    return table, payload
+
+
+def test_selfprof_overhead():
+    attempts: list[float] = []
+    table = payload = None
+    for _ in range(MAX_OVERHEAD_ATTEMPTS):
+        t, p = build_selfprof_sweep()
+        attempts.append(p["cpu_overhead_total"])
+        if payload is None or (p["cpu_overhead_total"]
+                               < payload["cpu_overhead_total"]):
+            table, payload = t, p
+        if payload["cpu_overhead_total"] < MAX_SELFPROF_OVERHEAD:
+            break
+    payload["overhead_attempts"] = attempts
+    save_table("selfprof_overhead", table)
+    save_json("selfprof_overhead", payload)
+
+    assert set(payload["workloads"]) == {w.name for w in DEFAULT_WORKLOADS}
+    for name, entry in payload["workloads"].items():
+        # zero perturbation: the profiler only watches the host clock,
+        # so every simulated result is bitwise identical either way
+        assert entry["engine_events_identical"], name
+        assert entry["makespan_identical"], name
+        assert entry["outputs_identical"], name
+        assert entry["sampler_samples_identical"], name
+        assert entry["plain_has_no_profile"], name
+        assert entry["hotspots"] > 0, (name, "empty host profile")
+    assert payload["cpu_overhead_total"] < MAX_SELFPROF_OVERHEAD, attempts

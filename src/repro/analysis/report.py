@@ -66,6 +66,53 @@ def render_profile_summary(result: JobResult) -> str:
     return "\n".join(lines)
 
 
+def render_selfprof(host, top: int = 10) -> str:
+    """Text report of a host-side self-profile
+    (:class:`~repro.obs.selfprof.HostProfile`): throughput headline,
+    subsystem share table, and the top-*top* exclusive hotspots.
+
+    Unlike every other section in this module, the numbers here are
+    *host wall-clock* — they vary run to run and machine to machine.
+    They answer "where does the simulator itself spend its time", the
+    question the ROADMAP's engine-speedup item needs answered.
+    """
+    lines = [
+        f"host self-profile : wall {host.wall_s:.3f} s · "
+        f"{host.sim_per_wall:.3g} sim-s/wall-s · "
+        f"{host.events_per_sec:,.0f} engine events/sec"
+    ]
+    shares = host.section_shares()
+    total = sum(shares.values()) or 1.0
+    share_rows = [
+        [section, f"{seconds * 1e3:.2f} ms", f"{seconds / total:.1%}"]
+        for section, seconds in shares.items()
+    ]
+    lines.append(
+        format_table(
+            ["subsystem", "exclusive", "share"],
+            share_rows,
+            title="host wall-clock by subsystem (exclusive):",
+        )
+    )
+    hot_rows = [
+        [
+            row["path"],
+            str(row["calls"]),
+            f"{row['exclusive_s'] * 1e3:.2f} ms",
+            f"{row['share']:.1%}",
+        ]
+        for row in host.top_exclusive(top)
+    ]
+    lines.append(
+        format_table(
+            ["scope path", "calls", "exclusive", "share"],
+            hot_rows,
+            title=f"top {len(hot_rows)} exclusive hotspots:",
+        )
+    )
+    return "\n".join(lines)
+
+
 def render_comm(analysis, top_pairs: int = 8) -> str:
     """Text view of the communication graph of one analyzed run: who
     talked to whom (comm matrix), how busy each link was, and what the

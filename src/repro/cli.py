@@ -207,6 +207,11 @@ def _run_job(args: argparse.Namespace):
         sample_interval = args.sample_interval
     else:
         sample_interval = DEFAULT_SAMPLE_INTERVAL
+    selfprof = bool(
+        getattr(args, "selfprof", False)
+        or getattr(args, "selfprof_out", None) is not None
+        or getattr(args, "self_host", False)
+    )
     config = JobConfig(
         scheduling=policy,
         use_cpu=not args.gpu_only,
@@ -216,6 +221,7 @@ def _run_job(args: argparse.Namespace):
         sample_interval=sample_interval,
         initial_nodes=args.initial_nodes,
         autoscale=_parse_autoscale(args.autoscale),
+        selfprof=selfprof,
     )
     result = PRSRuntime(cluster, config).run(app)
     return cluster, app, config, result
@@ -276,7 +282,28 @@ def _profile_meta(args, cluster, app, config, result) -> dict:
         "iterations": result.iterations,
         "makespan_s": result.makespan,
         "sample_interval": config.sample_interval,
+        # Deterministic simulated-work measure (identical across reruns
+        # of the same config); the host wall-clock numbers live in the
+        # opt-in host_profile line, never in the meta header.
+        "engine_events": result.engine_events,
     }
+
+
+def _write_selfprof(result, app, path: str | None) -> str:
+    """Write the run's host self-profile JSON; returns the path.
+
+    The file is one ``{"host_profile": {...}}`` object — the same shape
+    as the schema-v2 profile line — so ``repro selfprof`` reads either a
+    full profile JSONL or this standalone file.
+    """
+    import json
+
+    if path is None:
+        path = f"{app.name}_selfprof.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"host_profile": result.selfprofile.to_dict()},
+                            sort_keys=True) + "\n")
+    return path
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -285,6 +312,10 @@ def cmd_run(args: argparse.Namespace) -> int:
     profile_path: str | None = None
     if args.profile or args.profile_out is not None:
         profile_path = _write_profile(result, app, args.profile_out)
+
+    selfprof_path: str | None = None
+    if result.selfprofile is not None and args.selfprof_out is not None:
+        selfprof_path = _write_selfprof(result, app, args.selfprof_out)
 
     dashboard_path: str | None = None
     if args.dashboard_out is not None:
@@ -295,7 +326,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         # `run --dashboard-out` and `repro dashboard <saved-profile>` are
         # byte-identical by construction.
         meta = _profile_meta(args, cluster, app, config, result)
-        page = render_dashboard(loads_profile(profile_jsonl(result.trace, meta)))
+        page = render_dashboard(loads_profile(
+            profile_jsonl(result.trace, meta, host=result.selfprofile)
+        ))
         dashboard_path = args.dashboard_out
         with open(dashboard_path, "w", encoding="utf-8") as fh:
             fh.write(page)
@@ -333,20 +366,37 @@ def cmd_run(args: argparse.Namespace) -> int:
         }
         if result.recovery is not None:
             payload["recovery"] = result.recovery.to_dict()
+        if result.selfprofile is not None:
+            host = result.selfprofile
+            payload["host"] = {
+                "wall_s": host.wall_s,
+                "sim_per_wall": host.sim_per_wall,
+                "events_per_sec": host.events_per_sec,
+                "sections": host.section_shares(),
+                "top_exclusive": host.top_exclusive(10),
+            }
         if profile_path is not None:
             payload["profile"] = profile_path
+        if selfprof_path is not None:
+            payload["selfprof"] = selfprof_path
         if dashboard_path is not None:
             payload["dashboard"] = dashboard_path
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
 
     if args.report:
-        from repro.analysis.report import render_report
+        from repro.analysis.report import render_report, render_selfprof
 
         print(render_report(result, cluster, gantt=True))
+        if result.selfprofile is not None:
+            print()
+            print(render_selfprof(result.selfprofile))
         if profile_path is not None:
             print(f"\nprofile written: {profile_path} (Chrome trace-event "
                   "JSON; load in Perfetto or chrome://tracing)")
+        if selfprof_path is not None:
+            print(f"self-profile written: {selfprof_path} (report with "
+                  "`repro selfprof`)")
         if dashboard_path is not None:
             print(f"dashboard written: {dashboard_path}")
         return 0
@@ -389,6 +439,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         for phase, seconds in totals.items():
             share = seconds / result.makespan if result.makespan > 0 else 0.0
             print(f"  {phase:<12s} : {seconds * 1e3:9.3f} ms  ({share:.0%})")
+    if result.selfprofile is not None:
+        from repro.analysis.report import render_selfprof
+
+        print()
+        print(render_selfprof(result.selfprofile))
+        if selfprof_path is not None:
+            print(f"self-profile written: {selfprof_path} (report with "
+                  "`repro selfprof`; flamegraph via --speedscope)")
     if profile_path is not None:
         from repro.analysis.report import render_profile_summary
 
@@ -450,7 +508,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.obs.spans import SpanTracer
 
     analyses: list[tuple[str, Any]] = []
+    host = None
     if args.profiles:
+        if args.self_host:
+            print("analyze --self: saved Chrome traces carry no host "
+                  "self-profile; run live (omit PROFILE args) to measure "
+                  "the simulator's wall clock", file=sys.stderr)
         for path in _profile_paths(args.profiles):
             with open(path, "r", encoding="utf-8") as fh:
                 tracer = SpanTracer.from_chrome(json.load(fh))
@@ -460,6 +523,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     else:
         _, app, _, result = _run_job(args)
         analyses.append((app.name, result.analyze(top_stragglers=args.top)))
+        host = result.selfprofile
 
     problems: list[str] = []
     for label, analysis in analyses:
@@ -470,6 +534,15 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         payload = {
             label: analysis.to_dict() for label, analysis in analyses
         }
+        if host is not None:
+            label = analyses[0][0]
+            payload[label]["host"] = {
+                "wall_s": host.wall_s,
+                "sim_per_wall": host.sim_per_wall,
+                "events_per_sec": host.events_per_sec,
+                "sections": host.section_shares(),
+                "top_exclusive": host.top_exclusive(args.top),
+            }
         text = json.dumps(payload, indent=2, sort_keys=True)
         if args.out is not None and args.out != "-":
             with open(args.out, "w", encoding="utf-8") as fh:
@@ -481,6 +554,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         for label, analysis in analyses:
             print(f"=== {label}")
             print(render_analysis(analysis, comm=args.comm))
+            if host is not None:
+                from repro.analysis.report import render_selfprof
+
+                print(render_selfprof(host))
             print()
 
     if args.check and problems:
@@ -588,6 +665,64 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_selfprof(args: argparse.Namespace) -> int:
+    """Report a saved host self-profile (hotspots, shares, throughput)."""
+    import json
+
+    from repro.analysis.report import render_selfprof
+    from repro.obs.selfprof import HostProfile
+
+    with open(args.file, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    host = None
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError:
+        obj = None
+    if isinstance(obj, dict) and "host_profile" in obj:
+        # Standalone self-profile (run --selfprof-out).
+        host = HostProfile.from_dict(obj["host_profile"])
+    elif isinstance(obj, dict) and "tree" in obj:
+        # A bare HostProfile.to_dict dump.
+        host = HostProfile.from_dict(obj)
+    else:
+        # Full profile JSONL (schema v2 host_profile line).
+        from repro.obs.profile import loads_profile
+
+        host = loads_profile(text).host
+    if host is None:
+        raise SystemExit(
+            f"{args.file}: no host self-profile found — produce one with "
+            "`repro run --selfprof-out PATH` or `repro trace export "
+            "--format profile` on a --selfprof run"
+        )
+
+    if args.speedscope is not None:
+        with open(args.speedscope, "w", encoding="utf-8") as fh:
+            fh.write(host.to_speedscope() + "\n")
+        print(f"speedscope profile written: {args.speedscope} "
+              "(open at https://speedscope.app)")
+    if args.collapsed is not None:
+        with open(args.collapsed, "w", encoding="utf-8") as fh:
+            fh.write(host.to_collapsed())
+        print(f"collapsed stacks written: {args.collapsed} "
+              "(render with flamegraph.pl)")
+
+    if args.json:
+        print(json.dumps({
+            "wall_s": host.wall_s,
+            "makespan_s": host.makespan_s,
+            "engine_events": host.engine_events,
+            "sim_per_wall": host.sim_per_wall,
+            "events_per_sec": host.events_per_sec,
+            "sections": host.section_shares(),
+            "top_exclusive": host.top_exclusive(args.top),
+        }, indent=2, sort_keys=True))
+    else:
+        print(render_selfprof(host, top=args.top))
+    return 0
+
+
 def cmd_trace_export(args: argparse.Namespace) -> int:
     from repro import obs
 
@@ -607,7 +742,7 @@ def cmd_trace_export(args: argparse.Namespace) -> int:
         from repro.obs.profile import profile_jsonl
 
         meta = _profile_meta(args, cluster, app, config, result)
-        text = profile_jsonl(result.trace, meta)
+        text = profile_jsonl(result.trace, meta, host=result.selfprofile)
         default_out = f"{app.name}.profile.jsonl"
     else:
         text = result.trace.tracer.to_jsonl()
@@ -756,6 +891,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "tiles the makespan within 1e-6 s, the "
                               "slack decomposition sums to total slack, "
                               "and send/recv spans pair 1:1")
+    analyze.add_argument("--self", dest="self_host", action="store_true",
+                         help="also self-profile the simulator's host "
+                              "wall clock during the live run and merge "
+                              "the top hotspots + sim-s/wall-s into the "
+                              "report (docs/PROFILING.md)")
     analyze.set_defaults(func=cmd_analyze)
 
     bench = sub.add_parser(
@@ -801,6 +941,28 @@ def build_parser() -> argparse.ArgumentParser:
                                 "one input; default "
                                 "<profile>.dashboard.html)")
     dashboard.set_defaults(func=cmd_dashboard)
+
+    selfprof = sub.add_parser(
+        "selfprof",
+        help="report a saved host self-profile: top exclusive hotspots, "
+             "per-subsystem wall-clock shares, sim-time-per-wall-second "
+             "(docs/PROFILING.md)",
+    )
+    selfprof.add_argument("file", metavar="FILE",
+                          help="a run --selfprof-out JSON or a schema-v2 "
+                               "*.profile.jsonl containing a host_profile "
+                               "line")
+    selfprof.add_argument("--top", type=int, default=10,
+                          help="hotspots to report (default 10)")
+    selfprof.add_argument("--json", action="store_true",
+                          help="emit the report as JSON")
+    selfprof.add_argument("--speedscope", default=None, metavar="PATH",
+                          help="also export the call tree as speedscope "
+                               "JSON (https://speedscope.app)")
+    selfprof.add_argument("--collapsed", default=None, metavar="PATH",
+                          help="also export Brendan-Gregg collapsed stacks "
+                               "(flamegraph.pl input)")
+    selfprof.set_defaults(func=cmd_selfprof)
 
     trace = sub.add_parser("trace", help="trace/profile utilities")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -873,6 +1035,17 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                              "KEY=VAL knobs (e.g. --autoscale min_nodes=2 "
                              "--autoscale max_nodes=6); bare flag uses "
                              "defaults — see docs/FAULTS.md")
+    parser.add_argument("--selfprof", action="store_true",
+                        help="profile the simulator's own host wall clock "
+                             "(engine dispatch, kernels, comm, policy, "
+                             "allocator, tracer overhead) and print the "
+                             "hotspot report; simulated results are "
+                             "bitwise identical either way "
+                             "(docs/PROFILING.md)")
+    parser.add_argument("--selfprof-out", default=None, metavar="PATH",
+                        help="write the host self-profile JSON to PATH "
+                             "(implies --selfprof; report it with "
+                             "`repro selfprof`)")
     sampling = parser.add_mutually_exclusive_group()
     sampling.add_argument("--no-sample", action="store_true",
                           help="disable the time-series metric sampler "

@@ -328,67 +328,77 @@ class RankComm:
             if delay_s > 0:
                 yield self.engine.timeout(delay_s)
         trace = world.trace
-        msg_id = (
-            trace.next_msg_id() if trace is not None else world._next_msg_id
-        )
-        world._next_msg_id += 1
-        link = "local" if same_node else "remote"
-        if trace is not None:
-            # One send span per *delivered* message, covering the whole
-            # delivery effort (retransmit timers and fault delays
-            # included), so its end is the instant the payload becomes
-            # visible at the destination.  The matched receive span
-            # carries the same msg_id.
-            attrs: dict[str, Any] = {
-                "msg_id": msg_id,
-                "src": self.rank,
-                "dst": dest,
-                "src_node": src_node,
-                "dst_node": dest_node,
-                "tag": tag,
-                "tagc": describe_tag(tag),
-                "link": link,
-                # Fault-free analytic wire time (NetworkModel.p2p): the
-                # observed-vs-predicted ratio exposes contention,
-                # degradation windows, and retransmit storms per message.
-                "pred_s": world.wire_time(self.rank, dest, nbytes),
-            }
-            if retransmits:
-                attrs["retransmits"] = retransmits
-            if delay_s > 0:
-                attrs["delay_s"] = delay_s
-            trace.record(
-                f"msg r{self.rank}->r{dest} t{tag}",
-                f"net.r{self.rank}",
-                "net",
-                first_start,
-                self.engine.now,
-                nbytes=nbytes,
-                attrs=attrs,
+        # Host-profiling note: the delivery tail below never yields, so a
+        # wall-clock scope here cannot span simulated suspension — it
+        # meters exactly the bookkeeping this rank does for one message.
+        prof = trace.selfprof if trace is not None else None
+        if prof is not None:
+            prof.begin("comm:deliver")
+        try:
+            msg_id = (
+                trace.next_msg_id() if trace is not None else world._next_msg_id
             )
-            metrics = trace.metrics
-            labels = dict(
-                src=f"r{self.rank}", dst=f"r{dest}", tag=describe_tag(tag),
-                link=link,
+            world._next_msg_id += 1
+            link = "local" if same_node else "remote"
+            if trace is not None:
+                # One send span per *delivered* message, covering the whole
+                # delivery effort (retransmit timers and fault delays
+                # included), so its end is the instant the payload becomes
+                # visible at the destination.  The matched receive span
+                # carries the same msg_id.
+                attrs: dict[str, Any] = {
+                    "msg_id": msg_id,
+                    "src": self.rank,
+                    "dst": dest,
+                    "src_node": src_node,
+                    "dst_node": dest_node,
+                    "tag": tag,
+                    "tagc": describe_tag(tag),
+                    "link": link,
+                    # Fault-free analytic wire time (NetworkModel.p2p): the
+                    # observed-vs-predicted ratio exposes contention,
+                    # degradation windows, and retransmit storms per message.
+                    "pred_s": world.wire_time(self.rank, dest, nbytes),
+                }
+                if retransmits:
+                    attrs["retransmits"] = retransmits
+                if delay_s > 0:
+                    attrs["delay_s"] = delay_s
+                trace.record(
+                    f"msg r{self.rank}->r{dest} t{tag}",
+                    f"net.r{self.rank}",
+                    "net",
+                    first_start,
+                    self.engine.now,
+                    nbytes=nbytes,
+                    attrs=attrs,
+                )
+                metrics = trace.metrics
+                labels = dict(
+                    src=f"r{self.rank}", dst=f"r{dest}", tag=describe_tag(tag),
+                    link=link,
+                )
+                metrics.counter(obs.COMM_MESSAGES).inc(1, **labels)
+                metrics.counter(obs.COMM_BYTES).inc(nbytes, **labels)
+            world.messages_sent += 1
+            world.bytes_sent += nbytes
+            world._mailbox(dest, self.rank, tag).put(
+                _Envelope(
+                    payload=payload,
+                    msg_id=msg_id,
+                    src=self.rank,
+                    dest=dest,
+                    tag=tag,
+                    nbytes=nbytes,
+                    sent_at=first_start,
+                    visible_at=self.engine.now,
+                    retransmits=retransmits,
+                    delay_s=delay_s,
+                )
             )
-            metrics.counter(obs.COMM_MESSAGES).inc(1, **labels)
-            metrics.counter(obs.COMM_BYTES).inc(nbytes, **labels)
-        world.messages_sent += 1
-        world.bytes_sent += nbytes
-        world._mailbox(dest, self.rank, tag).put(
-            _Envelope(
-                payload=payload,
-                msg_id=msg_id,
-                src=self.rank,
-                dest=dest,
-                tag=tag,
-                nbytes=nbytes,
-                sent_at=first_start,
-                visible_at=self.engine.now,
-                retransmits=retransmits,
-                delay_s=delay_s,
-            )
-        )
+        finally:
+            if prof is not None:
+                prof.end()
 
     def recv(
         self, source: int, tag: int = 0, timeout: float | None = None
@@ -482,31 +492,39 @@ class RankComm:
         if not isinstance(raw, _Envelope):
             return raw
         world = self.world
-        if world.trace is not None:
-            now = self.engine.now
-            attrs: dict[str, Any] = {
-                "msg_id": raw.msg_id,
-                "src": raw.src,
-                "dst": self.rank,
-                "src_node": world.node_of(raw.src),
-                "dst_node": world.node_of(self.rank),
-                "tag": tag,
-                "tagc": describe_tag(tag),
-                "nbytes": raw.nbytes,
-                "sent_at": raw.sent_at,
-                "wait_s": now - entered,
-            }
-            if raw.retransmits:
-                attrs["retransmits"] = raw.retransmits
-            if raw.delay_s > 0:
-                attrs["delay_s"] = raw.delay_s
-            world.trace.record_recv(
-                f"recv r{raw.src}->r{self.rank} t{tag}",
-                f"net.r{self.rank}",
-                entered,
-                now,
-                attrs=attrs,
-            )
+        trace = world.trace
+        if trace is not None:
+            prof = trace.selfprof
+            if prof is not None:
+                prof.begin("comm:recv")
+            try:
+                now = self.engine.now
+                attrs: dict[str, Any] = {
+                    "msg_id": raw.msg_id,
+                    "src": raw.src,
+                    "dst": self.rank,
+                    "src_node": world.node_of(raw.src),
+                    "dst_node": world.node_of(self.rank),
+                    "tag": tag,
+                    "tagc": describe_tag(tag),
+                    "nbytes": raw.nbytes,
+                    "sent_at": raw.sent_at,
+                    "wait_s": now - entered,
+                }
+                if raw.retransmits:
+                    attrs["retransmits"] = raw.retransmits
+                if raw.delay_s > 0:
+                    attrs["delay_s"] = raw.delay_s
+                trace.record_recv(
+                    f"recv r{raw.src}->r{self.rank} t{tag}",
+                    f"net.r{self.rank}",
+                    entered,
+                    now,
+                    attrs=attrs,
+                )
+            finally:
+                if prof is not None:
+                    prof.end()
         return raw.payload
 
     # ------------------------------------------------------------------

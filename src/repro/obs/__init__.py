@@ -72,6 +72,7 @@ from repro.obs.metrics import (
     IntervalUnion,
     MetricsRegistry,
 )
+from repro.obs.selfprof import HostNode, HostProfile, SelfProfiler
 from repro.obs.spans import Span, SpanTracer
 from repro.obs.timeseries import (
     DEFAULT_SAMPLE_INTERVAL,
@@ -88,9 +89,12 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HostNode",
+    "HostProfile",
     "IntervalUnion",
     "MetricSampler",
     "MetricsRegistry",
+    "SelfProfiler",
     "Series",
     "SeriesBank",
     "Span",

@@ -323,6 +323,46 @@ def _series_section(profile: LoadedProfile) -> str:
     return "".join(parts)
 
 
+def _host_section(host) -> str:
+    """The schema-v2 host self-profile: subsystem shares + hotspots."""
+    shares = host.section_shares()
+    total = sum(shares.values()) or 1.0
+    share_rows = "".join(
+        "<tr>"
+        f"<td><code>{_esc(section)}</code></td>"
+        f"<td>{_fmt_ms(seconds)}</td>"
+        f"<td>{_fmt(seconds / total * 100.0)}%</td>"
+        "</tr>"
+        for section, seconds in shares.items()
+    )
+    share_table = (
+        "<table><thead><tr><th>subsystem</th><th>exclusive</th>"
+        "<th>share</th></tr></thead><tbody>" + share_rows
+        + "</tbody></table>"
+    )
+    hot_rows = "".join(
+        "<tr>"
+        f"<td><code>{_esc(row['path'])}</code></td>"
+        f"<td>{row['calls']}</td>"
+        f"<td>{_fmt_ms(row['exclusive_s'])}</td>"
+        f"<td>{_fmt_ms(row['inclusive_s'])}</td>"
+        "</tr>"
+        for row in host.top_exclusive(10)
+    )
+    hot_table = (
+        "<table><thead><tr><th>scope path</th><th>calls</th>"
+        "<th>exclusive</th><th>inclusive</th></tr></thead><tbody>"
+        + hot_rows + "</tbody></table>"
+    )
+    header = (
+        f"<p>host wall {_fmt(host.wall_s)} s &middot; "
+        f"{_fmt(host.sim_per_wall)} sim-s/wall-s &middot; "
+        f"{_fmt(host.events_per_sec)} events/sec</p>"
+    )
+    return (header + share_table
+            + "<h3>Top exclusive hotspots</h3>" + hot_table)
+
+
 def render_dashboard(profile: LoadedProfile, title: str | None = None) -> str:
     """Render *profile* into one standalone deterministic HTML page."""
     if title is None:
@@ -336,6 +376,17 @@ def render_dashboard(profile: LoadedProfile, title: str | None = None) -> str:
         f"{len(profile.tracer)} spans &middot; {n_series} series &middot; "
         f"{len(alerts)} alert(s)"
     )
+    host = profile.host
+    host_html = ""
+    if host is not None:
+        # Schema v2 only: v1 profiles (and non-selfprofiled v2 runs)
+        # carry no host line, keeping their rendering byte-identical to
+        # the pre-v2 dashboard.
+        summary += (
+            f" &middot; host wall {_fmt(host.wall_s)} s &middot; "
+            f"{_fmt(host.events_per_sec)} events/sec"
+        )
+        host_html = "\n<h2>Host profile</h2>\n" + _host_section(host)
     return (
         "<!DOCTYPE html>\n"
         '<html lang="en"><head><meta charset="utf-8">\n'
@@ -348,5 +399,6 @@ def render_dashboard(profile: LoadedProfile, title: str | None = None) -> str:
         + "\n<h2>Membership</h2>\n" + _membership_section(profile)
         + "\n<h2>Phase timeline</h2>\n" + _phase_gantt(profile)
         + "\n<h2>Sampled series</h2>\n" + _series_section(profile)
+        + host_html
         + "\n</body></html>\n"
     )

@@ -21,6 +21,16 @@ discriminating key —
 * ``{"series": ..., "labels": ..., "t": [...], "v": [...]}`` — one per
   sampled series (:meth:`repro.obs.timeseries.Series.to_dict`), in
   sorted (name, labels) order.
+* ``{"host_profile": {...}}`` — at most one (schema v2): the host-side
+  wall-clock self-profile (:meth:`repro.obs.selfprof.HostProfile.to_dict`)
+  of a run executed with ``--selfprof``.  This is the single sanctioned
+  exception to the no-wall-clock rule above — host timings are the
+  *payload* here, and the line only appears when the user opts in, so
+  default runs still serialize to identical bytes.
+
+Version history: v1 = meta + spans + series; v2 adds the optional
+``host_profile`` line.  v1 files load unchanged under the v2 reader
+(the ``host`` attribute is simply ``None``).
 
 :func:`load_profile` also accepts a plain Chrome trace JSON file
 (spans only, no series) so ``repro dashboard`` works on both.
@@ -32,6 +42,7 @@ import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.obs.selfprof import HostProfile
 from repro.obs.spans import SpanTracer
 from repro.obs.timeseries import SeriesBank
 
@@ -39,16 +50,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simulate.trace import Trace
 
 #: bump when a line kind changes shape; readers reject newer majors
-PROFILE_SCHEMA_VERSION = 1
+#: (v2: optional ``host_profile`` line)
+PROFILE_SCHEMA_VERSION = 2
 
 
-def profile_jsonl(trace: "Trace", meta: dict[str, Any] | None = None) -> str:
+def profile_jsonl(
+    trace: "Trace",
+    meta: dict[str, Any] | None = None,
+    host: HostProfile | None = None,
+) -> str:
     """Serialize a finished run's observability plane to profile JSONL.
 
     *meta* is embedded under ``profile_meta`` (schema version added);
     spans come from ``trace.tracer``, series from ``trace.sampler`` when
     one is attached (a sampling-disabled run simply has no series
-    lines).
+    lines).  *host* — a :class:`~repro.obs.selfprof.HostProfile` from a
+    selfprofiled run — appends the schema-v2 ``host_profile`` line.
     """
     header = {"schema_version": PROFILE_SCHEMA_VERSION}
     header.update(meta or {})
@@ -59,6 +76,10 @@ def profile_jsonl(trace: "Trace", meta: dict[str, Any] | None = None) -> str:
     )
     if trace.sampler is not None:
         lines.extend(trace.sampler.bank.to_jsonl_lines())
+    if host is not None:
+        lines.append(
+            json.dumps({"host_profile": host.to_dict()}, sort_keys=True)
+        )
     return "\n".join(lines) + "\n"
 
 
@@ -69,6 +90,9 @@ class LoadedProfile:
     tracer: SpanTracer
     bank: SeriesBank | None = None
     meta: dict[str, Any] = field(default_factory=dict)
+    #: host-side self-profile (schema v2 ``host_profile`` line); None
+    #: for v1 files and for runs that did not profile the host
+    host: HostProfile | None = None
 
     @property
     def makespan(self) -> float:
@@ -122,6 +146,7 @@ def loads_profile(text: str) -> LoadedProfile:
     meta: dict[str, Any] = {}
     span_dicts: list[dict[str, Any]] = []
     series_dicts: list[dict[str, Any]] = []
+    host: HostProfile | None = None
     for i, line in enumerate(text.splitlines()):
         if not line.strip():
             continue
@@ -132,6 +157,8 @@ def loads_profile(text: str) -> LoadedProfile:
             span_dicts.append(obj)
         elif "series" in obj:
             series_dicts.append(obj)
+        elif "host_profile" in obj:
+            host = HostProfile.from_dict(obj["host_profile"])
         else:
             raise ValueError(
                 f"profile line {i + 1}: not a meta/span/series object "
@@ -147,6 +174,7 @@ def loads_profile(text: str) -> LoadedProfile:
         tracer=_tracer_from_span_dicts(span_dicts),
         bank=SeriesBank.from_dicts(series_dicts) if series_dicts else None,
         meta=meta,
+        host=host,
     )
 
 

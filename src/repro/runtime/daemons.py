@@ -200,16 +200,37 @@ class CpuDaemon:
             # block's own record only lands when it *ends*, which can be
             # many grid pitches away for coarse blocks.
             self.trace.tick(start)
-            pairs = self.app.cpu_map(block)
-            duration = (
-                self.overheads.cpu_task_dispatch_s
-                + self.block_seconds(block)
-                + _alloc_seconds(
+            prof = self.trace.selfprof
+            if prof is None:
+                pairs = self.app.cpu_map(block)
+                alloc_s = _alloc_seconds(
                     self.res,
                     self.device_name,
                     len(pairs),
                     self.config.use_region_allocator,
                 )
+            else:
+                # Inline scopes (not prof.call): this runs once per map
+                # block, the highest-frequency kernel site.
+                prof.begin("kernel:cpu-map")
+                try:
+                    pairs = self.app.cpu_map(block)
+                finally:
+                    prof.end()
+                prof.begin("alloc:region")
+                try:
+                    alloc_s = _alloc_seconds(
+                        self.res,
+                        self.device_name,
+                        len(pairs),
+                        self.config.use_region_allocator,
+                    )
+                finally:
+                    prof.end()
+            duration = (
+                self.overheads.cpu_task_dispatch_s
+                + self.block_seconds(block)
+                + alloc_s
             )
             faults = self.res.faults
             if faults is not None:
@@ -261,7 +282,13 @@ class CpuDaemon:
                     self.overheads.cpu_task_dispatch_s + flops / (per_core * 1e9)
                 )
                 yield engine.timeout(duration)
-                sink[key] = self.app.cpu_reduce(key, values)
+                prof = self.trace.selfprof
+                if prof is None:
+                    sink[key] = self.app.cpu_reduce(key, values)
+                else:
+                    sink[key] = prof.call(
+                        "kernel:cpu-reduce", self.app.cpu_reduce, key, values
+                    )
                 self.trace.record(
                     f"reduce[{key!r}]",
                     self.device_name,
@@ -408,13 +435,33 @@ class GpuDaemon:
             ):
                 self._cached_blocks.add(key)
                 self.cached_bytes += nbytes
-        pairs = self.app.gpu_map(block)
-        alloc = _alloc_seconds(
-            self.res,
-            self.device_name,
-            len(pairs),
-            self.config.use_region_allocator,
-        )
+        prof = self.trace.selfprof
+        if prof is None:
+            pairs = self.app.gpu_map(block)
+            alloc = _alloc_seconds(
+                self.res,
+                self.device_name,
+                len(pairs),
+                self.config.use_region_allocator,
+            )
+        else:
+            # Inline scopes (not prof.call): once per map block — see
+            # the CPU daemon's map path.
+            prof.begin("kernel:gpu-map")
+            try:
+                pairs = self.app.gpu_map(block)
+            finally:
+                prof.end()
+            prof.begin("alloc:region")
+            try:
+                alloc = _alloc_seconds(
+                    self.res,
+                    self.device_name,
+                    len(pairs),
+                    self.config.use_region_allocator,
+                )
+            finally:
+                prof.end()
         if alloc > 0:
             yield engine.timeout(alloc)
         _deliver(sink, block, pairs)
@@ -485,7 +532,13 @@ class GpuDaemon:
                 trace=self.trace,
                 label=f"reduce[{key!r}]",
             )
-            sink[key] = self.app.gpu_device_reduce(key, values)
+            prof = self.trace.selfprof
+            if prof is None:
+                sink[key] = self.app.gpu_device_reduce(key, values)
+            else:
+                sink[key] = prof.call(
+                    "kernel:gpu-reduce", self.app.gpu_device_reduce, key, values
+                )
 
         procs = [
             engine.process(one(k, v), name="gpu-reduce") for k, v in groups.items()

@@ -160,6 +160,12 @@ class JobConfig:
     #: fields, or ``True`` for the defaults.  Requires
     #: ``sample_interval`` (decisions read the metric time-series).
     autoscale: Any = None
+    #: host-side self-profiling: attribute the simulator's *wall-clock*
+    #: cost to subsystems (:mod:`repro.obs.selfprof`) and attach the
+    #: resulting :class:`~repro.obs.selfprof.HostProfile` to
+    #: ``JobResult.selfprofile``.  Pure host bookkeeping: simulated
+    #: schedules, spans, and outputs are bitwise identical either way.
+    selfprof: bool = False
 
     def __post_init__(self) -> None:
         require_positive_int("gpus_per_node", self.gpus_per_node)
@@ -255,6 +261,10 @@ class JobResult:
     engine_events: int = 0
     #: total time-series points the sampler captured (0 when disabled)
     sampler_samples: int = 0
+    #: host-side wall-clock profile of the simulator itself
+    #: (:class:`repro.obs.selfprof.HostProfile`; None unless the job ran
+    #: with ``selfprof=True``)
+    selfprofile: Any = None
 
     def phase_breakdown(self, rank: int = 0) -> dict[int, dict[str, float]]:
         """Per-iteration ``{phase: seconds}`` on *rank* (see

@@ -80,14 +80,21 @@ class SchedulingPolicy(abc.ABC):
         """Append one policy decision to the trace's audit log (pure
         bookkeeping: never perturbs the simulated schedule)."""
         sched = self.sched
-        sched.trace.audit.record(
-            kind,
-            node=sched.res.node.name,
-            time=sched.res.engine.now,
-            iteration=iteration,
-            inputs=inputs,
-            outputs=outputs,
-        )
+        prof = sched.trace.selfprof
+        if prof is not None:
+            prof.begin("policy:decision")
+        try:
+            sched.trace.audit.record(
+                kind,
+                node=sched.res.node.name,
+                time=sched.res.engine.now,
+                iteration=iteration,
+                inputs=inputs,
+                outputs=outputs,
+            )
+        finally:
+            if prof is not None:
+                prof.end()
 
     def record_block_plan(self, partition: Block, n_blocks: int) -> None:
         """Audit the polling block plan once per node (the count is

@@ -101,6 +101,38 @@ class PRSRuntime:
         record_alerts(trace.tracer, trace.metrics, alerts)
         return alerts
 
+    def _attach_selfprof(self, trace: Trace, engine: Engine):
+        """Create, attach, and start the host-side wall-clock profiler
+        when ``config.selfprof`` is set (None otherwise).  Attached to
+        both the trace (obs/kernel/comm/policy scopes) and the engine
+        (per-dispatch scopes) before any simulation work runs, so the
+        root scope covers setup as well as the event loop."""
+        if not self.config.selfprof:
+            return None
+        from repro.obs.selfprof import SelfProfiler
+
+        prof = SelfProfiler()
+        trace.attach_selfprof(prof)
+        engine.selfprof = prof
+        prof.start()
+        return prof
+
+    def _finish_selfprof(self, prof, engine: Engine, app: MapReduceApp):
+        """Stop the profiler (if any) and freeze the host profile.
+
+        Called after the engine has drained and observability is
+        finalized; the meta carries the deterministic run context the
+        derived throughput numbers (sim-s/wall-s, events/sec) need.
+        """
+        if prof is None:
+            return None
+        prof.stop()
+        return prof.profile(meta={
+            "makespan_s": engine.now,
+            "engine_events": engine.events_scheduled,
+            "app": getattr(app, "name", type(app).__name__),
+        })
+
     # ------------------------------------------------------------------
     def run(self, app: MapReduceApp) -> JobResult:
         """Execute *app* to completion; returns outputs plus timing.
@@ -123,6 +155,7 @@ class PRSRuntime:
             )
         engine = Engine()
         trace = self._make_trace()
+        selfprof = self._attach_selfprof(trace, engine)
         cluster = self.cluster
         config = self.config
         world = World(
@@ -220,6 +253,7 @@ class PRSRuntime:
             sampler_samples=(
                 trace.sampler.total_samples if trace.sampler else 0
             ),
+            selfprofile=self._finish_selfprof(selfprof, engine, app),
         )
 
     # ------------------------------------------------------------------
@@ -250,6 +284,7 @@ class PRSRuntime:
         """
         engine = Engine()
         trace = self._make_trace()
+        selfprof = self._attach_selfprof(trace, engine)
         cluster = self.cluster
         config = self.config
         policy = config.fault_policy
@@ -658,6 +693,7 @@ class PRSRuntime:
             sampler_samples=(
                 trace.sampler.total_samples if trace.sampler else 0
             ),
+            selfprofile=self._finish_selfprof(selfprof, engine, app),
         )
 
     # ------------------------------------------------------------------

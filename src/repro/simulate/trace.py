@@ -26,6 +26,7 @@ instead (snapshot-and-diff, no trace re-scans).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.obs import (
     DEVICE_BUSY_SECONDS,
@@ -41,6 +42,7 @@ from repro.obs import (
     SpanTracer,
 )
 from repro.obs.analyze.audit import DecisionLog
+from repro.obs.selfprof import HostNode
 
 #: span track membership-transition spans land on (their own lane in
 #: exports, mirroring the ``alerts`` track)
@@ -124,6 +126,12 @@ class Trace:
         #: every mutation below ticks it first, so samples reflect the
         #: pre-mutation registry state at each elapsed grid instant
         self.sampler: MetricSampler | None = None
+        #: optional host-side :class:`~repro.obs.selfprof.SelfProfiler`
+        #: (attach_selfprof).  When set, the record hot path and the
+        #: sampler tick are bracketed in ``obs:`` wall-clock scopes so
+        #: the observability layer's own host cost is attributed, not
+        #: hidden inside whichever subsystem happened to call it.
+        self.selfprof = None
         self._busy_union: dict[str, IntervalUnion] = {}
         #: next message id handed to the communicator(s); trace-owned so
         #: ids stay unique across the worlds of rank-restart epochs
@@ -143,15 +151,59 @@ class Trace:
         self.sampler = sampler
         return sampler
 
+    def attach_selfprof(self, profiler) -> None:
+        """Bind a host-side wall-clock profiler to this trace.  Pure
+        host bookkeeping, like the sampler: profiling never schedules
+        engine events, so the simulated schedule is bitwise identical
+        with or without it."""
+        self.selfprof = profiler
+
     def tick(self, now: float) -> None:
         """Advance the attached sampler (no-op without one, and O(1)
         when no sampling-grid instant has elapsed)."""
         sampler = self.sampler
         if sampler is not None:
-            sampler.advance(now)
+            prof = self.selfprof
+            # Only open an ``obs:sampler`` scope when a grid instant
+            # actually elapsed (same predicate as advance()'s early
+            # exit): ticks overwhelmingly no-op, and a scope around a
+            # single comparison would drown the signal in its own cost.
+            # The early-exit comparison itself stays charged to the
+            # caller — nanoseconds, and documented in docs/PROFILING.md.
+            if prof is None or sampler._k * sampler.interval > now:
+                sampler.advance(now)
+            else:
+                prof.begin("obs:sampler")
+                try:
+                    sampler.advance(now)
+                finally:
+                    prof.end()
 
     # ------------------------------------------------------------------
     def add(self, record: TaskRecord, attrs: dict | None = None) -> None:
+        prof = self.selfprof
+        if prof is None:
+            self._add_impl(record, attrs)
+            return
+        # Second-hottest instrumented site (once per task record):
+        # push/pop the profiler's frame stacks directly — see
+        # Engine.step for the rationale.
+        nodes = prof._nodes
+        children = nodes[-1].children
+        node = children.get("obs:trace.record")
+        if node is None:
+            node = children["obs:trace.record"] = HostNode("obs:trace.record")
+        nodes.append(node)
+        prof._t0s.append(perf_counter())
+        try:
+            self._add_impl(record, attrs)
+        finally:
+            now = perf_counter()
+            node.calls += 1
+            node.inclusive_s += now - prof._t0s.pop()
+            nodes.pop()
+
+    def _add_impl(self, record: TaskRecord, attrs: dict | None) -> None:
         self.tick(record.end)
         self._records.append(record)
         m = self.metrics

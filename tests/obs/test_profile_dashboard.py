@@ -141,6 +141,23 @@ class TestRenderDashboard:
         page = render_dashboard(loaded)
         assert "<h2>Phase timeline</h2>" in page
 
+    def test_host_section_renders_for_selfprofiled_run(self):
+        result = run_cmeans(sample_interval=1e-3, selfprof=True)
+        page = render_dashboard(loads_profile(
+            profile_jsonl(result.trace, {}, host=result.selfprofile)))
+        assert "<h2>Host profile</h2>" in page
+        assert "events/sec" in page
+        # the subsystem share table lists the engine section
+        assert "engine" in page
+
+    def test_no_host_section_without_selfprof(self):
+        # A v2 profile without the host_profile line renders exactly the
+        # page a v1 reader produced — no host section, byte-identically.
+        result = run_cmeans(sample_interval=1e-3)
+        page = render_dashboard(loads_profile(
+            profile_jsonl(result.trace, {})))
+        assert "<h2>Host profile</h2>" not in page
+
 
 class TestDashboardCLI:
     RUN = [

@@ -445,3 +445,108 @@ class TestRunAnalysisSurface:
         assert "critical path (what the makespan was waiting on):" in out
         assert "top stragglers" in out
         assert "model drift" in out
+
+
+class TestSelfprofCLI:
+    RUN = [
+        "run", "--app", "cmeans", "--size", "600", "--nodes", "2",
+        "--iterations", "2",
+    ]
+
+    def test_run_selfprof_prints_hotspot_report(self, capsys):
+        assert main(self.RUN + ["--selfprof"]) == 0
+        out = capsys.readouterr().out
+        assert "host self-profile" in out
+        assert "host wall-clock by subsystem (exclusive):" in out
+        assert "engine" in out
+
+    def test_run_selfprof_json_payload(self, capsys):
+        import json
+
+        assert main(self.RUN + ["--selfprof", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        host = payload["host"]
+        assert host["wall_s"] > 0
+        assert host["events_per_sec"] > 0
+        assert "engine" in host["sections"]
+        assert host["top_exclusive"]
+
+    def test_plain_run_has_no_host_block(self, capsys):
+        import json
+
+        assert main(self.RUN + ["--json"]) == 0
+        assert "host" not in json.loads(capsys.readouterr().out)
+
+    def test_selfprof_out_then_report(self, capsys, tmp_path):
+        target = tmp_path / "host.selfprof.json"
+        # --selfprof-out implies --selfprof
+        assert main(self.RUN + ["--selfprof-out", str(target)]) == 0
+        capsys.readouterr()
+        assert target.exists()
+        assert main(["selfprof", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "host self-profile" in out
+        assert "scope path" in out
+
+    def test_selfprof_report_json_and_exports(self, capsys, tmp_path):
+        import json
+
+        target = tmp_path / "host.selfprof.json"
+        assert main(self.RUN + ["--selfprof-out", str(target)]) == 0
+        capsys.readouterr()
+        speedscope = tmp_path / "host.speedscope.json"
+        collapsed = tmp_path / "host.collapsed.txt"
+        assert main([
+            "selfprof", str(target), "--json",
+            "--speedscope", str(speedscope),
+            "--collapsed", str(collapsed),
+        ]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["wall_s"] > 0
+        assert "engine" in payload["sections"]
+        doc = json.loads(speedscope.read_text())
+        assert doc["profiles"][0]["unit"] == "seconds"
+        assert collapsed.read_text().splitlines()
+
+    def test_selfprof_reads_profile_jsonl(self, capsys, tmp_path):
+        profile = tmp_path / "run.profile.jsonl"
+        assert main([
+            "trace", "export", "--app", "cmeans", "--size", "600",
+            "--nodes", "2", "--iterations", "2", "--selfprof",
+            "--format", "profile", "--out", str(profile),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["selfprof", str(profile)]) == 0
+        assert "host self-profile" in capsys.readouterr().out
+
+    def test_selfprof_rejects_profile_without_host(self, capsys, tmp_path):
+        profile = tmp_path / "plain.profile.jsonl"
+        assert main([
+            "trace", "export", "--app", "cmeans", "--size", "600",
+            "--nodes", "2", "--iterations", "2",
+            "--format", "profile", "--out", str(profile),
+        ]) == 0
+        with pytest.raises(SystemExit, match="no host self-profile"):
+            main(["selfprof", str(profile)])
+
+    def test_analyze_self_live_run(self, capsys):
+        assert main([
+            "analyze", "--app", "cmeans", "--size", "600", "--nodes", "2",
+            "--iterations", "2", "--self",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "host self-profile" in out
+
+    def test_analyze_self_json_merges_host(self, capsys):
+        import json
+
+        assert main([
+            "analyze", "--app", "cmeans", "--size", "600", "--nodes", "2",
+            "--iterations", "2", "--self", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        host = payload["cmeans"]["host"]
+        assert host["wall_s"] > 0
+        assert "engine" in host["sections"]
