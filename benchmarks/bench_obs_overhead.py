@@ -33,18 +33,34 @@ pollutes the cache for a whole attempt.  A real regression (scopes
 suddenly costing 2x) fails all three; every attempt is recorded in the
 saved JSON so a trajectory of near-misses is visible.
 
+The structured event log (:mod:`repro.obs.log`) joins the same
+contract in ``test_logging_overhead``: a ``log_level="debug"`` run must
+leave every simulated result bitwise identical and cost under 5% extra
+host CPU time, measured with the same paired-round estimator.  Its
+sweep is recorded under the ``"logging"`` key of
+``BENCH_obs_overhead.json``.
+
 Regenerates ``benchmarks/results/BENCH_obs_overhead.json`` and
 ``benchmarks/results/BENCH_selfprof_overhead.json``.
 """
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from statistics import median
 from time import perf_counter, process_time
 
-from _harness import LAST_WALL, WALL_ROUNDS, once, save_json, save_table
+from _harness import (
+    LAST_WALL,
+    RESULTS_DIR,
+    WALL_ROUNDS,
+    once,
+    save_json,
+    save_table,
+)
 from repro.analysis.tables import format_table
 from repro.obs.analyze.baseline import DEFAULT_WORKLOADS, _run_workload
 
@@ -55,6 +71,13 @@ MAX_EVENT_OVERHEAD = 0.03
 #: over the whole sweep (per-workload numbers are recorded but not gated
 #: — sub-second runs are too noisy individually)
 MAX_SELFPROF_OVERHEAD = 0.05
+
+#: hard ceiling on relative host CPU-time overhead of
+#: ``log_level="info"`` over the whole sweep, mirroring the selfprof
+#: gate: the event log is pure host bookkeeping behind ``log is None``
+#: guards, so simulated results are bitwise identical and host cost
+#: stays in the noise
+MAX_LOGGING_OVERHEAD = 0.05
 
 #: measurement attempts before the overhead gate gives up; a clean host
 #: passes on the first, a noisy one on a retry, a real regression never
@@ -213,6 +236,117 @@ def build_selfprof_sweep():
         "workloads": entries,
     }
     return table, payload
+
+
+def build_logging_sweep():
+    entries = {}
+    rows = []
+    weights: dict[str, tuple[float, float]] = {}
+    for spec in DEFAULT_WORKLOADS:
+        plain = _run_workload(spec)
+        logged = _run_workload(spec, log_level="debug")
+        wp: list[float] = []
+        wl: list[float] = []
+        cp: list[float] = []
+        cl: list[float] = []
+
+        def timed(runner, walls, cpus):
+            t0, c0 = perf_counter(), process_time()
+            out = runner()
+            cpus.append(process_time() - c0)
+            walls.append(perf_counter() - t0)
+            return out
+
+        for i in range(WALL_ROUNDS + 2):
+            if i % 2 == 0:
+                plain = timed(lambda: _run_workload(spec), wp, cp)
+                logged = timed(
+                    lambda: _run_workload(spec, log_level="debug"), wl, cl)
+            else:
+                logged = timed(
+                    lambda: _run_workload(spec, log_level="debug"), wl, cl)
+                plain = timed(lambda: _run_workload(spec), wp, cp)
+        ratio = median(s / p for p, s in zip(cp, cl))
+        LAST_WALL[f"{spec.name}-plain"] = {
+            "min_s": min(wp), "max_s": max(wp), "rounds": len(wp)}
+        LAST_WALL[f"{spec.name}-logging"] = {
+            "min_s": min(wl), "max_s": max(wl), "rounds": len(wl)}
+        weights[spec.name] = (ratio, min(cp))
+        entries[spec.name] = {
+            "spec": spec.to_dict(),
+            "cpu_s_plain": min(cp),
+            "cpu_s_logging": min(cl),
+            "cpu_overhead": ratio - 1.0,
+            "records_emitted": logged.logs.emitted if logged.logs else 0,
+            "engine_events_identical":
+                logged.engine_events == plain.engine_events,
+            "makespan_identical": logged.makespan == plain.makespan,
+            "outputs_identical":
+                _canon_output(logged.output) == _canon_output(plain.output),
+            "sampler_samples_identical":
+                logged.sampler_samples == plain.sampler_samples,
+            "plain_has_no_log": plain.logs is None,
+        }
+        rows.append([
+            spec.name,
+            f"{min(cp) * 1e3:.1f}",
+            f"{min(cl) * 1e3:.1f}",
+            f"{ratio - 1.0:+.1%}",
+            str(entries[spec.name]["records_emitted"]),
+            "yes" if entries[spec.name]["engine_events_identical"]
+            and entries[spec.name]["makespan_identical"]
+            and entries[spec.name]["outputs_identical"] else "NO",
+        ])
+    total_cpu = sum(p for _, p in weights.values())
+    overall = sum((r - 1.0) * p / total_cpu for r, p in weights.values())
+    table = format_table(
+        ["workload", "cpu off (ms)", "cpu on (ms)", "overhead",
+         "records", "results identical"],
+        rows,
+        title=(f"Event-log overhead: host CPU time with log_level=debug "
+               f"vs logging off (sweep {overall:+.1%})"),
+    )
+    payload = {
+        "benchmark": "logging_overhead",
+        "max_cpu_overhead": MAX_LOGGING_OVERHEAD,
+        "cpu_overhead_total": overall,
+        "workloads": entries,
+    }
+    return table, payload
+
+
+def test_logging_overhead():
+    attempts: list[float] = []
+    table = payload = None
+    for _ in range(MAX_OVERHEAD_ATTEMPTS):
+        t, p = build_logging_sweep()
+        attempts.append(p["cpu_overhead_total"])
+        if payload is None or (p["cpu_overhead_total"]
+                               < payload["cpu_overhead_total"]):
+            table, payload = t, p
+        if payload["cpu_overhead_total"] < MAX_LOGGING_OVERHEAD:
+            break
+    payload["overhead_attempts"] = attempts
+    save_table("logging_overhead", table)
+    # The gate rides in BENCH_obs_overhead.json next to the sampler
+    # sweep: both guard the same zero-perturbation contract.
+    path = RESULTS_DIR / "BENCH_obs_overhead.json"
+    base = json.loads(path.read_text()) if path.exists() else {
+        "schema_version": 1, "benchmark": "obs_overhead"}
+    base["logging"] = payload
+    save_json("obs_overhead", base)
+
+    assert set(payload["workloads"]) == {w.name for w in DEFAULT_WORKLOADS}
+    for name, entry in payload["workloads"].items():
+        # zero perturbation: the event log is host bookkeeping behind a
+        # ``log is None`` guard, so simulated results never move
+        assert entry["engine_events_identical"], name
+        assert entry["makespan_identical"], name
+        assert entry["outputs_identical"], name
+        assert entry["sampler_samples_identical"], name
+        assert entry["plain_has_no_log"], name
+        assert entry["records_emitted"] > 0, (name, "vacuous sweep?")
+    assert payload["cpu_overhead_total"] < MAX_LOGGING_OVERHEAD, attempts
 
 
 def test_selfprof_overhead():

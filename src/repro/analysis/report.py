@@ -420,6 +420,13 @@ def render_report(
 
     # ---- timeline ----------------------------------------------------------
     if gantt:
-        sections.append("timeline:\n" + result.trace.gantt(width=gantt_width))
+        from repro.simulate.trace import gantt_legend
+
+        sections.append(
+            "timeline:\n"
+            + gantt_legend()
+            + "\n"
+            + result.trace.gantt(width=gantt_width)
+        )
 
     return "\n\n".join(sections)

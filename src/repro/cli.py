@@ -222,6 +222,7 @@ def _run_job(args: argparse.Namespace):
         initial_nodes=args.initial_nodes,
         autoscale=_parse_autoscale(args.autoscale),
         selfprof=selfprof,
+        log_level=getattr(args, "log_level", None),
     )
     result = PRSRuntime(cluster, config).run(app)
     return cluster, app, config, result
@@ -366,6 +367,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         }
         if result.recovery is not None:
             payload["recovery"] = result.recovery.to_dict()
+        if result.logs is not None:
+            log = result.logs
+            payload["logs"] = {
+                "level": log.level,
+                "records": len(log),
+                "emitted": log.emitted,
+                "dumps": [d.to_dict() for d in log.dumps],
+            }
         if result.selfprofile is not None:
             host = result.selfprofile
             payload["host"] = {
@@ -433,6 +442,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"  membership     : {len(rec.epochs) - 1} transitions "
                   f"({rec.joins} joins, {rec.drains} drains, "
                   f"{rec.autoscale_decisions} autoscale); ranks {walk}")
+    if result.logs is not None:
+        log = result.logs
+        print(f"event log      : {len(log)} records retained "
+              f"({log.emitted} emitted, level {log.level}); "
+              f"{len(log.dumps)} flight dump(s)")
     totals = result.phase_totals()
     if totals:
         print("phase breakdown (rank 0, summed over iterations):")
@@ -472,7 +486,9 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     if args.format == "json":
         import json
 
-        print(json.dumps(result.trace.metrics.to_dict(), indent=2,
+        # Self-describing snapshot (HELP/TYPE metadata alongside the
+        # samples), mirroring the text exposition's comment lines.
+        print(json.dumps(result.trace.metrics.to_typed_dict(), indent=2,
                          sort_keys=True))
     else:
         sys.stdout.write(result.trace.metrics.render())
@@ -529,6 +545,19 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     for label, analysis in analyses:
         for problem in analysis.check():
             problems.append(f"{label}: {problem}")
+    if not args.profiles and result.logs is not None:
+        # Log/span cross-validation: every ERROR record must pair with a
+        # recovery or alert span (the flight recorder narrates failures
+        # the recovery layer then acts on — an unpaired ERROR means a
+        # failure nothing handled).
+        from repro.obs.log import unpaired_errors
+
+        for record in unpaired_errors(result.logs, result.trace.tracer):
+            problems.append(
+                f"{app.name}: ERROR log record seq={record.seq} "
+                f"({record.logger}: {record.message!r} at t={record.t:.6g}) "
+                "pairs with no recovery/alert span"
+            )
 
     if args.json or args.out is not None:
         payload = {
@@ -566,7 +595,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         return 1
     if args.check:
         print("analysis check passed: critical path + slack tiles the "
-              "makespan, slack decomposition sums, message spans pair 1:1")
+              "makespan, slack decomposition sums, message spans pair 1:1"
+              + (", ERROR log records pair with recovery/alert spans"
+                 if not args.profiles and result.logs is not None else ""))
     return 0
 
 
@@ -720,6 +751,74 @@ def cmd_selfprof(args: argparse.Namespace) -> int:
         }, indent=2, sort_keys=True))
     else:
         print(render_selfprof(host, top=args.top))
+    return 0
+
+
+def cmd_logs(args: argparse.Namespace) -> int:
+    """Browse the structured event log of a saved schema-v3 profile."""
+    from repro.obs.profile import load_profile
+
+    profile = load_profile(args.file)
+    log = profile.log
+    if log is None:
+        raise SystemExit(
+            f"{args.file}: no event log found — produce one with "
+            "`repro run --log-level LEVEL` plus `repro trace export "
+            "--format profile` (or --dashboard-out's sibling profile)"
+        )
+
+    records = log.records(min_level=args.level, rank=args.rank)
+    if args.grep is not None:
+        import re
+
+        pattern = re.compile(args.grep)
+        records = [
+            r for r in records
+            if pattern.search(r.message)
+            or any(pattern.search(f"{k}={v}") for k, v in r.attrs)
+        ]
+    if args.around_span is not None:
+        span = profile.tracer.get(args.around_span)
+        if span is None:
+            raise SystemExit(
+                f"{args.file}: span id {args.around_span} not found"
+            )
+        end = span.end if span.end is not None else float("inf")
+        records = [
+            r for r in records
+            if r.span_id == args.around_span
+            or (span.start - 1e-9 <= r.t <= end + 1e-9)
+        ]
+
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {
+                "meta": log.meta_dict(),
+                "records": [r.to_dict() for r in records],
+                "dumps": [d.to_dict() for d in log.dumps],
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
+
+    meta = log.meta_dict()
+    print(f"event log: level={meta['level']} emitted={meta['emitted']} "
+          f"retained={len(log)} shown={len(records)} "
+          f"flight_dumps={len(log.dumps)}")
+    for r in records:
+        span = f" span={r.span_id}" if r.span_id is not None else ""
+        rank = f" r{r.rank}" if r.rank is not None else ""
+        labels = " ".join(f"{k}={v}" for k, v in r.attrs)
+        labels = f"  [{labels}]" if labels else ""
+        print(f"{r.t * 1e3:10.3f}ms {r.level:<7s} {r.logger:<10s}"
+              f"{rank}{span}  {r.message}{labels}")
+    if args.dumps and log.dumps:
+        for i, d in enumerate(log.dumps):
+            print(f"--- flight dump {i}: trigger={d.trigger} "
+                  f"cause={d.cause!r} t={d.t * 1e3:.3f}ms "
+                  f"({len(d.records)} records)")
     return 0
 
 
@@ -964,6 +1063,30 @@ def build_parser() -> argparse.ArgumentParser:
                                "(flamegraph.pl input)")
     selfprof.set_defaults(func=cmd_selfprof)
 
+    logs = sub.add_parser(
+        "logs",
+        help="browse the structured event log of a saved schema-v3 "
+             "*.profile.jsonl (filter by level/rank/regex/span; "
+             "docs/LOGGING.md)",
+    )
+    logs.add_argument("file", metavar="FILE",
+                      help="a *.profile.jsonl from a --log-level run")
+    logs.add_argument("--level", default=None,
+                      choices=["debug", "info", "warning", "error"],
+                      help="minimum level to show")
+    logs.add_argument("--rank", type=int, default=None,
+                      help="only records attributed to this rank")
+    logs.add_argument("--grep", default=None, metavar="REGEX",
+                      help="only records whose message or labels match")
+    logs.add_argument("--around-span", type=int, default=None, metavar="ID",
+                      help="only records correlated to span ID or "
+                           "timestamped inside its [start, end] window")
+    logs.add_argument("--dumps", action="store_true",
+                      help="also summarize the flight-recorder dumps")
+    logs.add_argument("--json", action="store_true",
+                      help="emit records (post-filter) + dumps as JSON")
+    logs.set_defaults(func=cmd_logs)
+
     trace = sub.add_parser("trace", help="trace/profile utilities")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     export = trace_sub.add_parser(
@@ -1046,6 +1169,12 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                         help="write the host self-profile JSON to PATH "
                              "(implies --selfprof; report it with "
                              "`repro selfprof`)")
+    parser.add_argument("--log-level", default=None,
+                        choices=["debug", "info", "warning", "error"],
+                        help="enable the structured event log + fault "
+                             "flight recorder at this level; simulated "
+                             "results are bitwise identical either way "
+                             "(docs/LOGGING.md)")
     sampling = parser.add_mutually_exclusive_group()
     sampling.add_argument("--no-sample", action="store_true",
                           help="disable the time-series metric sampler "

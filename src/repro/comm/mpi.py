@@ -318,6 +318,18 @@ class RankComm:
                     world.trace.metrics.counter(obs.COMM_RETRANSMITS).inc(
                         1, src=f"r{self.rank}"
                     )
+                    log = world.trace.log
+                    if log is not None:
+                        log.warning(
+                            "comm",
+                            f"message r{self.rank}->r{dest} t{tag} dropped; "
+                            f"retransmit {retransmits}",
+                            t=self.engine.now,
+                            rank=world.trace.rank_of(f"net.r{self.rank}"),
+                            src=self.rank,
+                            dst=dest,
+                            nbytes=nbytes,
+                        )
                 yield self.engine.timeout(faults.policy.retransmit_timeout_s)
                 start = self.engine.now
                 continue
@@ -380,6 +392,26 @@ class RankComm:
                 )
                 metrics.counter(obs.COMM_MESSAGES).inc(1, **labels)
                 metrics.counter(obs.COMM_BYTES).inc(nbytes, **labels)
+                log = trace.log
+                if log is not None and not same_node:
+                    # Slow-delivery narration: observed delivery at or
+                    # beyond 2x the analytic α/β wire time — the same
+                    # 2.0 factor the link-over-utilization alert rule
+                    # uses, so an alert's flight dump carries the
+                    # per-message WARNs that explain it.
+                    pred_s = attrs["pred_s"]
+                    actual_s = self.engine.now - first_start
+                    if pred_s > 0 and actual_s >= 2.0 * pred_s:
+                        log.warning(
+                            "comm",
+                            f"slow delivery r{self.rank}->r{dest} t{tag}: "
+                            f"{actual_s:.3g}s vs predicted {pred_s:.3g}s",
+                            t=self.engine.now,
+                            rank=trace.rank_of(f"net.r{self.rank}"),
+                            msg_id=msg_id,
+                            nbytes=nbytes,
+                            ratio=round(actual_s / pred_s, 3),
+                        )
             world.messages_sent += 1
             world.bytes_sent += nbytes
             world._mailbox(dest, self.rank, tag).put(
@@ -471,6 +503,17 @@ class RankComm:
                             "wait_s": self.engine.now - entered,
                         },
                     )
+                    log = world.trace.log
+                    if log is not None:
+                        log.warning(
+                            "comm",
+                            f"recv r{source}->r{self.rank} t{tag} timed out "
+                            f"after {wait_limit:.3g}s",
+                            t=self.engine.now,
+                            rank=world.trace.rank_of(f"net.r{self.rank}"),
+                            src=source,
+                            tag=describe_tag(tag),
+                        )
                 raise CommTimeout(self.rank, source, tag, wait_limit)
             raise EpochAborted(abort.value if abort is not None else None)
         finally:
@@ -752,6 +795,16 @@ def heartbeat_sender(
                     comm.world.trace.metrics.counter(obs.COMM_HEARTBEATS).inc(
                         1, src=f"r{comm.rank}"
                     )
+                    log = comm.world.trace.log
+                    if log is not None and log.wants_debug:
+                        log.debug(
+                            "comm",
+                            f"heartbeat r{comm.rank}->r{dest}",
+                            t=comm.engine.now,
+                            rank=comm.world.trace.rank_of(
+                                f"net.r{comm.rank}"
+                            ),
+                        )
     except Interrupt:
         return
 
@@ -780,6 +833,20 @@ def heartbeat_monitor(
                 misses += 1
                 if misses < missed_windows:
                     continue
+                if comm.world.trace is not None:
+                    log = comm.world.trace.log
+                    if log is not None:
+                        log.error(
+                            "comm",
+                            f"rank r{source} silent for {misses} heartbeat "
+                            f"window(s); declaring dead",
+                            t=comm.engine.now,
+                            rank=comm.world.trace.rank_of(
+                                f"net.r{comm.rank}"
+                            ),
+                            peer=source,
+                            window_s=timeout,
+                        )
                 if not abort_event.triggered:
                     abort_event.succeed(("rank-silent", source))
                 return

@@ -72,6 +72,13 @@ from repro.obs.metrics import (
     IntervalUnion,
     MetricsRegistry,
 )
+from repro.obs.log import (
+    LEVELS,
+    EventLog,
+    FlightDump,
+    LogRecord,
+    unpaired_errors,
+)
 from repro.obs.selfprof import HostNode, HostProfile, SelfProfiler
 from repro.obs.spans import Span, SpanTracer
 from repro.obs.timeseries import (
@@ -87,11 +94,15 @@ from repro.obs.timeseries import (
 
 __all__ = [
     "Counter",
+    "EventLog",
+    "FlightDump",
     "Gauge",
     "Histogram",
     "HostNode",
     "HostProfile",
     "IntervalUnion",
+    "LEVELS",
+    "LogRecord",
     "MetricSampler",
     "MetricsRegistry",
     "SelfProfiler",
@@ -101,6 +112,7 @@ __all__ = [
     "SpanTracer",
     "check_profile",
     "phase_makespan_gap",
+    "unpaired_errors",
     "ALERTS_TOTAL",
     "AUTOSCALE_DECISIONS",
     "COMM_BYTES",

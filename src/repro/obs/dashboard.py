@@ -363,6 +363,92 @@ def _host_section(host) -> str:
             + "<h3>Top exclusive hotspots</h3>" + hot_table)
 
 
+_LEVEL_COLOR = {
+    "debug": "#888",
+    "info": "#1f77b4",
+    "warning": "#e6a817",
+    "error": "#d62728",
+}
+
+
+def _log_section(profile: LoadedProfile) -> str:
+    """Schema v3 event log: a record timeline strip plus the tail table
+    and one collapsible block per flight-recorder dump."""
+    log = profile.log
+    makespan = profile.makespan or 1.0
+    width, height = 900, 46
+    marks = []
+    records = log.records()
+    for record in records:
+        x = min(record.t / makespan, 1.0) * (width - 2) + 1
+        color = _LEVEL_COLOR.get(record.level, "#888")
+        tip = (
+            f"t={_fmt_ms(record.t)} [{record.level}] "
+            f"{record.logger}: {record.message}"
+        )
+        marks.append(
+            f'<line x1="{_fmt(x)}" y1="6" x2="{_fmt(x)}" y2="40" '
+            f'stroke="{color}" stroke-width="2">'
+            f"<title>{_esc(tip)}</title></line>"
+        )
+    for dump in log.dumps:
+        x = min(dump.t / makespan, 1.0) * (width - 2) + 1
+        marks.append(
+            f'<circle cx="{_fmt(x)}" cy="23" r="5" fill="none" '
+            f'stroke="#d62728" stroke-width="2">'
+            f"<title>{_esc(f'flight dump [{dump.trigger}] {dump.cause} at ' + _fmt_ms(dump.t))}</title></circle>"
+        )
+    timeline = (
+        f'<svg width="{width}" height="{height}" role="img">'
+        f'<rect x="0" y="0" width="{width}" height="{height}" '
+        f'fill="#f7f7f7"/>' + "".join(marks) + "</svg>"
+    )
+    meta = log.meta_dict()
+    header = (
+        f"<p>level <code>{_esc(str(meta['level']))}</code> &middot; "
+        f"{meta['emitted']} emitted &middot; {len(records)} retained "
+        f"&middot; {len(log.dumps)} flight dump(s)</p>"
+    )
+
+    def _rows(rows) -> str:
+        out = []
+        for r in rows:
+            color = _LEVEL_COLOR.get(r.level, "#888")
+            span = str(r.span_id) if r.span_id is not None else ""
+            rank = str(r.rank) if r.rank is not None else ""
+            labels = _esc(" ".join(f"{k}={v}" for k, v in r.attrs))
+            out.append(
+                "<tr>"
+                f"<td>{_fmt_ms(r.t)}</td>"
+                f'<td style="color:{color}">{_esc(r.level)}</td>'
+                f"<td><code>{_esc(r.logger)}</code></td>"
+                f"<td>{rank}</td><td>{span}</td>"
+                f"<td>{_esc(r.message)}"
+                + (f' <span class="meta">{labels}</span>' if labels else "")
+                + "</td></tr>"
+            )
+        return "".join(out)
+
+    table_head = (
+        "<table><thead><tr><th>t</th><th>level</th><th>logger</th>"
+        "<th>rank</th><th>span</th><th>message</th></tr></thead><tbody>"
+    )
+    parts = [header, timeline, "<h3>Retained tail</h3>",
+             table_head + _rows(records) + "</tbody></table>"]
+    if log.dumps:
+        parts.append("<h3>Flight recorder</h3>")
+        for i, dump in enumerate(log.dumps):
+            parts.append(
+                "<details><summary>"
+                f"dump {i}: <code>{_esc(dump.trigger)}</code> "
+                f"{_esc(dump.cause)} at {_fmt_ms(dump.t)} "
+                f"({len(dump.records)} records)</summary>"
+                + table_head + _rows(dump.records) + "</tbody></table>"
+                + "</details>"
+            )
+    return "".join(parts)
+
+
 def render_dashboard(profile: LoadedProfile, title: str | None = None) -> str:
     """Render *profile* into one standalone deterministic HTML page."""
     if title is None:
@@ -387,6 +473,15 @@ def render_dashboard(profile: LoadedProfile, title: str | None = None) -> str:
             f"{_fmt(host.events_per_sec)} events/sec"
         )
         host_html = "\n<h2>Host profile</h2>\n" + _host_section(host)
+    log_html = ""
+    if profile.log is not None:
+        # Schema v3 only: profiles without --log-level carry no log
+        # lines, keeping their rendering byte-identical to v2.
+        summary += (
+            f" &middot; {profile.log.emitted} log record(s) &middot; "
+            f"{len(profile.log.dumps)} flight dump(s)"
+        )
+        log_html = "\n<h2>Event log</h2>\n" + _log_section(profile)
     return (
         "<!DOCTYPE html>\n"
         '<html lang="en"><head><meta charset="utf-8">\n'
@@ -400,5 +495,6 @@ def render_dashboard(profile: LoadedProfile, title: str | None = None) -> str:
         + "\n<h2>Phase timeline</h2>\n" + _phase_gantt(profile)
         + "\n<h2>Sampled series</h2>\n" + _series_section(profile)
         + host_html
+        + log_html
         + "\n</body></html>\n"
     )

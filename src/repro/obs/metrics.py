@@ -367,6 +367,23 @@ class MetricsRegistry:
             out[metric.name] = entries
         return out
 
+    def to_typed_dict(self) -> dict[str, dict[str, Any]]:
+        """Self-describing snapshot: name -> {help, type, samples}.
+
+        The JSON counterpart of :meth:`render`'s ``# HELP`` / ``# TYPE``
+        comment lines — a consumer needs no out-of-band registry to
+        interpret the samples (Prometheus text-format parity).
+        """
+        samples = self.to_dict()
+        return {
+            metric.name: {
+                "help": metric.help,
+                "type": metric.type_name,
+                "samples": samples[metric.name],
+            }
+            for metric in self
+        }
+
 
 class IntervalUnion:
     """Exact incremental union of real intervals.

@@ -27,10 +27,18 @@ discriminating key —
   exception to the no-wall-clock rule above — host timings are the
   *payload* here, and the line only appears when the user opts in, so
   default runs still serialize to identical bytes.
+* ``{"log_meta": {...}}`` / ``{"log": {...}}`` / ``{"log_dump": {...}}``
+  — schema v3: the structured event log of a run executed with
+  ``--log-level`` (:mod:`repro.obs.log`).  ``log_meta`` appears at most
+  once (level, ring size, emit count), then one ``log`` line per
+  retained record in causal (seq) order, then one ``log_dump`` line per
+  flight-recorder snapshot.  All three are absent without the opt-in,
+  so default v3 profiles differ from v2 only in the version integer.
 
 Version history: v1 = meta + spans + series; v2 adds the optional
-``host_profile`` line.  v1 files load unchanged under the v2 reader
-(the ``host`` attribute is simply ``None``).
+``host_profile`` line; v3 adds the optional ``log_meta`` / ``log`` /
+``log_dump`` line stream.  v1/v2 files load unchanged under the v3
+reader (the ``host`` / ``log`` attributes are simply ``None``).
 
 :func:`load_profile` also accepts a plain Chrome trace JSON file
 (spans only, no series) so ``repro dashboard`` works on both.
@@ -42,6 +50,7 @@ import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.obs.log import EventLog, FlightDump, LogRecord
 from repro.obs.selfprof import HostProfile
 from repro.obs.spans import SpanTracer
 from repro.obs.timeseries import SeriesBank
@@ -50,8 +59,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.simulate.trace import Trace
 
 #: bump when a line kind changes shape; readers reject newer majors
-#: (v2: optional ``host_profile`` line)
-PROFILE_SCHEMA_VERSION = 2
+#: (v2: optional ``host_profile`` line; v3: optional ``log_meta`` /
+#: ``log`` / ``log_dump`` lines)
+PROFILE_SCHEMA_VERSION = 3
 
 
 def profile_jsonl(
@@ -80,6 +90,19 @@ def profile_jsonl(
         lines.append(
             json.dumps({"host_profile": host.to_dict()}, sort_keys=True)
         )
+    log = getattr(trace, "log", None)
+    if log is not None:
+        lines.append(
+            json.dumps({"log_meta": log.meta_dict()}, sort_keys=True)
+        )
+        lines.extend(
+            json.dumps({"log": record.to_dict()}, sort_keys=True)
+            for record in log.records()
+        )
+        lines.extend(
+            json.dumps({"log_dump": dump.to_dict()}, sort_keys=True)
+            for dump in log.dumps
+        )
     return "\n".join(lines) + "\n"
 
 
@@ -93,6 +116,9 @@ class LoadedProfile:
     #: host-side self-profile (schema v2 ``host_profile`` line); None
     #: for v1 files and for runs that did not profile the host
     host: HostProfile | None = None
+    #: structured event log (schema v3 ``log_meta``/``log``/``log_dump``
+    #: lines); None for v1/v2 files and for runs without ``--log-level``
+    log: EventLog | None = None
 
     @property
     def makespan(self) -> float:
@@ -147,6 +173,9 @@ def loads_profile(text: str) -> LoadedProfile:
     span_dicts: list[dict[str, Any]] = []
     series_dicts: list[dict[str, Any]] = []
     host: HostProfile | None = None
+    log_meta: dict[str, Any] | None = None
+    log_records: list[LogRecord] = []
+    log_dumps: list[FlightDump] = []
     for i, line in enumerate(text.splitlines()):
         if not line.strip():
             continue
@@ -159,6 +188,12 @@ def loads_profile(text: str) -> LoadedProfile:
             series_dicts.append(obj)
         elif "host_profile" in obj:
             host = HostProfile.from_dict(obj["host_profile"])
+        elif "log_meta" in obj:
+            log_meta = dict(obj["log_meta"])
+        elif "log" in obj:
+            log_records.append(LogRecord.from_dict(obj["log"]))
+        elif "log_dump" in obj:
+            log_dumps.append(FlightDump.from_dict(obj["log_dump"]))
         else:
             raise ValueError(
                 f"profile line {i + 1}: not a meta/span/series object "
@@ -170,11 +205,15 @@ def loads_profile(text: str) -> LoadedProfile:
             f"profile schema v{version} is newer than this reader "
             f"(v{PROFILE_SCHEMA_VERSION})"
         )
+    log: EventLog | None = None
+    if log_meta is not None or log_records or log_dumps:
+        log = EventLog.from_profile(log_meta or {}, log_records, log_dumps)
     return LoadedProfile(
         tracer=_tracer_from_span_dicts(span_dicts),
         bank=SeriesBank.from_dicts(series_dicts) if series_dicts else None,
         meta=meta,
         host=host,
+        log=log,
     )
 
 

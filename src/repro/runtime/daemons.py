@@ -80,6 +80,43 @@ def _deliver(sink: Any, block: Block, pairs: list[KeyValue]) -> None:
         sink.extend(pairs)
 
 
+def _log_failure(daemon: Any, block: Block, fatal: bool) -> None:
+    """Narrate a device-level block failure into the event log (no-op
+    without a log attached; pure host bookkeeping either way)."""
+    log = daemon.trace.log
+    if log is None:
+        return
+    rank = daemon.res.node_index if daemon.res.node_index >= 0 else None
+    log.emit(
+        "error" if fatal else "warning",
+        "daemon",
+        f"map block [{block.start}:{block.stop}) faulted on "
+        f"{daemon.device_name}",
+        t=daemon.res.engine.now,
+        rank=rank,
+        device=daemon.device_name,
+        fatal=fatal,
+    )
+
+
+def _log_kernel(daemon: Any, kind: str, block: Block, n_pairs: int) -> None:
+    """Debug-level kernel/alloc narration for one finished map kernel."""
+    log = daemon.trace.log
+    if log is None or not log.wants_debug:
+        return
+    rank = daemon.res.node_index if daemon.res.node_index >= 0 else None
+    if rank is None:
+        rank = daemon.trace.rank_of(daemon.device_name)
+    log.debug(
+        "daemon",
+        f"{kind} kernel done for [{block.start}:{block.stop})",
+        t=daemon.res.engine.now,
+        rank=rank,
+        device=daemon.device_name,
+        pairs=n_pairs,
+    )
+
+
 def _guarded_body(
     daemon: Any, block: Block, sink: Any
 ) -> Generator[Event, Any, Any]:
@@ -165,6 +202,7 @@ class CpuDaemon:
         self.fault_listener = None
 
     def _report_failure(self, block: Block, fatal: bool) -> None:
+        _log_failure(self, block, fatal)
         if self.fault_listener is not None:
             self.fault_listener(self, block, fatal)
 
@@ -236,6 +274,7 @@ class CpuDaemon:
             if faults is not None:
                 duration *= faults.compute_scale(self.fault_key, start)
             yield engine.timeout(duration)
+            _log_kernel(self, "cpu-map", block, len(pairs))
             _deliver(sink, block, pairs)
             self.res.allocator.note_block(
                 (block.start, block.stop), self.device_name
@@ -379,6 +418,7 @@ class GpuDaemon:
         )
 
     def _report_failure(self, block: Block, fatal: bool) -> None:
+        _log_failure(self, block, fatal)
         if self.fault_listener is not None:
             self.fault_listener(self, block, fatal)
 
@@ -464,6 +504,7 @@ class GpuDaemon:
                 prof.end()
         if alloc > 0:
             yield engine.timeout(alloc)
+        _log_kernel(self, "gpu-map", block, len(pairs))
         _deliver(sink, block, pairs)
         self.res.allocator.note_block(
             (block.start, block.stop), self.device_name

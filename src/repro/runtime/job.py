@@ -166,6 +166,13 @@ class JobConfig:
     #: ``JobResult.selfprofile``.  Pure host bookkeeping: simulated
     #: schedules, spans, and outputs are bitwise identical either way.
     selfprof: bool = False
+    #: structured event logging (:mod:`repro.obs.log`): minimum record
+    #: level (``debug``/``info``/``warning``/``error``) or ``None`` to
+    #: disable.  The log is a per-rank bounded ring buffer acting as a
+    #: flight recorder — pure host bookkeeping behind ``log is None``
+    #: guards, so simulated schedules, spans, and outputs are bitwise
+    #: identical either way (docs/LOGGING.md).
+    log_level: str | None = None
 
     def __post_init__(self) -> None:
         require_positive_int("gpus_per_node", self.gpus_per_node)
@@ -181,6 +188,14 @@ class JobConfig:
         require_nonnegative("fault_seed", self.fault_seed)
         if self.sample_interval is not None:
             require_positive("sample_interval", self.sample_interval)
+        if self.log_level is not None:
+            from repro.obs.log import LEVELS
+
+            if self.log_level not in LEVELS:
+                raise ValueError(
+                    f"log_level must be one of {sorted(LEVELS)} or None, "
+                    f"got {self.log_level!r}"
+                )
         if self.faults is not None:
             # Normalize spec strings/dicts into a FaultPlan now so config
             # errors surface at construction, not mid-job.  Deferred
@@ -265,6 +280,10 @@ class JobResult:
     #: (:class:`repro.obs.selfprof.HostProfile`; None unless the job ran
     #: with ``selfprof=True``)
     selfprofile: Any = None
+    #: structured event log of the run (:class:`repro.obs.log.EventLog`
+    #: holding the per-rank retained tails and any flight-recorder
+    #: dumps; None unless the job ran with ``log_level`` set)
+    logs: Any = None
 
     def phase_breakdown(self, rank: int = 0) -> dict[int, dict[str, float]]:
         """Per-iteration ``{phase: seconds}`` on *rank* (see

@@ -69,6 +69,16 @@ class SchedulingPolicy(abc.ABC):
         self.metrics.counter(obs.POLICY_STEALS).inc(
             1, policy=self.name, device=device_name
         )
+        sched = self.sched
+        log = sched.trace.log
+        if log is not None and log.wants_debug:
+            log.debug(
+                "policy",
+                f"{device_name} stole a block against affinity",
+                t=sched.res.engine.now,
+                rank=sched.trace.rank_of(device_name),
+                policy=self.name,
+            )
 
     def record_decision(
         self,
@@ -92,6 +102,19 @@ class SchedulingPolicy(abc.ABC):
                 inputs=inputs,
                 outputs=outputs,
             )
+            log = sched.trace.log
+            if log is not None and log.wants_debug:
+                log.debug(
+                    "policy",
+                    f"{kind} decision on {sched.res.node.name}",
+                    t=sched.res.engine.now,
+                    rank=(
+                        sched.node_index if sched.node_index >= 0 else None
+                    ),
+                    policy=self.name,
+                    iteration=iteration,
+                    **{f"out_{k}": v for k, v in outputs.items()},
+                )
         finally:
             if prof is not None:
                 prof.end()

@@ -99,6 +99,21 @@ class PRSRuntime:
             sampler.bank, rules=self.config.alert_rules, end=engine.now
         )
         record_alerts(trace.tracer, trace.metrics, alerts)
+        log = trace.log
+        if log is not None:
+            # Alert rules evaluate retrospectively over the sampled
+            # series, so the flight recorder fires here — one dump per
+            # firing, stamped with the rule's trigger instant.
+            for alert in alerts:
+                log.warning(
+                    "alert",
+                    f"rule {alert.rule} fired",
+                    t=alert.start,
+                    severity=alert.severity,
+                    peak=alert.peak,
+                    threshold=alert.threshold,
+                )
+                log.dump("alert", alert.rule, alert.start)
         return alerts
 
     def _attach_selfprof(self, trace: Trace, engine: Engine):
@@ -116,6 +131,20 @@ class PRSRuntime:
         engine.selfprof = prof
         prof.start()
         return prof
+
+    def _attach_log(self, trace: Trace, engine: Engine):
+        """Create and attach the structured event log + flight recorder
+        when ``config.log_level`` is set (None otherwise).  Pure host
+        bookkeeping — every emit site is behind a ``log is None`` guard,
+        so the simulated schedule is bitwise identical either way."""
+        if self.config.log_level is None:
+            return None
+        from repro.obs.log import EventLog
+
+        log = EventLog(level=self.config.log_level)
+        trace.attach_log(log)
+        engine.log = log
+        return log
 
     def _finish_selfprof(self, prof, engine: Engine, app: MapReduceApp):
         """Stop the profiler (if any) and freeze the host profile.
@@ -156,6 +185,7 @@ class PRSRuntime:
         engine = Engine()
         trace = self._make_trace()
         selfprof = self._attach_selfprof(trace, engine)
+        log = self._attach_log(trace, engine)
         cluster = self.cluster
         config = self.config
         world = World(
@@ -254,6 +284,7 @@ class PRSRuntime:
                 trace.sampler.total_samples if trace.sampler else 0
             ),
             selfprofile=self._finish_selfprof(selfprof, engine, app),
+            logs=log,
         )
 
     # ------------------------------------------------------------------
@@ -285,6 +316,7 @@ class PRSRuntime:
         engine = Engine()
         trace = self._make_trace()
         selfprof = self._attach_selfprof(trace, engine)
+        log = self._attach_log(trace, engine)
         cluster = self.cluster
         config = self.config
         policy = config.fault_policy
@@ -411,6 +443,21 @@ class PRSRuntime:
                             "members": list(rec.members),
                         },
                     )
+                    if log is not None:
+                        log.info(
+                            "membership",
+                            f"epoch {rec.epoch}: {rec.cause} node "
+                            f"{event.node}",
+                            t=engine.now,
+                            epoch=rec.epoch,
+                            action=rec.cause,
+                            members=",".join(str(n) for n in rec.members),
+                        )
+                        log.dump(
+                            "epoch",
+                            f"{rec.cause} node {event.node}",
+                            engine.now,
+                        )
                 trace.metrics.gauge(obs.MEMBERSHIP_EPOCH).set(view.epoch)
             surviving = [
                 n for n in view.members() if n not in faults.dead_nodes
@@ -609,6 +656,25 @@ class PRSRuntime:
                 )
             trace.metrics.counter(obs.RECOVERY_RANK_RESTARTS).inc()
             now = engine.now
+            if log is not None:
+                for node_idx in sorted(new_dead):
+                    log.error(
+                        "recovery",
+                        f"rank on node {node_idx} declared dead",
+                        t=now,
+                        restart=restarts,
+                        cause=str(cause),
+                    )
+                    log.dump("fault", f"rank-kill node {node_idx}", now)
+                log.info(
+                    "recovery",
+                    f"rank restart {restarts}: resuming from checkpoint "
+                    f"iteration {recovery_state.iteration}",
+                    t=now,
+                    survivors=",".join(
+                        str(n) for n in surviving if n not in new_dead
+                    ),
+                )
             for node_idx in sorted(new_dead):
                 rec = view.leave(node_idx, now)
                 if elastic is not None and rec is not None:
@@ -670,6 +736,7 @@ class PRSRuntime:
                 elastic.autoscale_decisions if elastic is not None else 0
             ),
             epochs=tuple(view.history),
+            flight_dumps=tuple(log.dumps) if log is not None else (),
         )
 
         return JobResult(
@@ -694,6 +761,7 @@ class PRSRuntime:
                 trace.sampler.total_samples if trace.sampler else 0
             ),
             selfprofile=self._finish_selfprof(selfprof, engine, app),
+            logs=log,
         )
 
     # ------------------------------------------------------------------

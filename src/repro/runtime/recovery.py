@@ -148,6 +148,10 @@ class RecoverySummary:
     drains: int = 0
     autoscale_decisions: int = 0
     epochs: tuple = field(default_factory=tuple)
+    #: flight-recorder snapshots (:class:`repro.obs.log.FlightDump`)
+    #: taken when a fault fired, an alert rule tripped, or a membership
+    #: epoch bumped; ``()`` unless the job ran with ``log_level`` set
+    flight_dumps: tuple = field(default_factory=tuple)
 
     @property
     def clean(self) -> bool:
@@ -180,12 +184,14 @@ class RecoverySummary:
             "drains": self.drains,
             "autoscale_decisions": self.autoscale_decisions,
             "epochs": [e.to_dict() for e in self.epochs],
+            "flight_dumps": [f.to_dict() for f in self.flight_dumps],
             "clean": self.clean,
         }
 
     @classmethod
     def from_dict(cls, d: dict[str, Any]) -> "RecoverySummary":
         """Inverse of :meth:`to_dict` (ignores the derived ``clean``)."""
+        from repro.obs.log import FlightDump
         from repro.runtime.membership import EpochRecord
 
         return cls(
@@ -205,5 +211,8 @@ class RecoverySummary:
             autoscale_decisions=int(d.get("autoscale_decisions", 0)),
             epochs=tuple(
                 EpochRecord.from_dict(e) for e in d.get("epochs", ())
+            ),
+            flight_dumps=tuple(
+                FlightDump.from_dict(f) for f in d.get("flight_dumps", ())
             ),
         )

@@ -310,6 +310,13 @@ class Engine:
         #: ``now``/``_seq`` — so enabling it cannot perturb the
         #: simulation (see tests/obs/test_selfprof.py).
         self.selfprof: Optional[Any] = None
+        #: optional structured :class:`repro.obs.log.EventLog`.  When
+        #: set, dispatch failures (unwaited event errors, deadlocks) are
+        #: narrated as ERROR records before the exception propagates.
+        #: Emitting only appends to a host-side ring buffer — it never
+        #: schedules events or touches ``now``/``_seq`` — so enabling it
+        #: cannot perturb the simulation.
+        self.log: Optional[Any] = None
         #: per-profiled-run cache: resumed process *name* -> its
         #: dispatch-scope tree node.  Classifying a dispatch costs
         #: isinstance checks and string work; a process is resumed many
@@ -379,6 +386,12 @@ class Engine:
                 callback(event)
             if not event.ok and not callbacks:
                 # A failure nobody waits on would vanish silently; surface it.
+                if self.log is not None:
+                    self.log.error(
+                        "engine",
+                        f"unwaited event failure: {event.value!r}",
+                        t=self.now,
+                    )
                 raise event.value  # type: ignore[misc]
             return
         when, _, event = heapq.heappop(self._queue)
@@ -422,6 +435,12 @@ class Engine:
             callback(event)
         if not event.ok and not callbacks:
             # A failure nobody waits on would vanish silently; surface it.
+            if self.log is not None:
+                self.log.error(
+                    "engine",
+                    f"unwaited event failure: {event.value!r}",
+                    t=self.now,
+                )
             raise event.value  # type: ignore[misc]
 
     def run(self, until: float | Event | None = None) -> Any:
@@ -445,6 +464,14 @@ class Engine:
                     ]
                     if details:
                         message += "\n" + "\n".join(details)
+                    if self.log is not None:
+                        self.log.error(
+                            "engine",
+                            "deadlock: queue drained with an awaited event "
+                            "pending",
+                            t=self.now,
+                            diagnostics=len(details),
+                        )
                     raise SimulationError(message)
                 self.step()
             if self.selfprof is not None:

@@ -52,6 +52,25 @@ MEMBERSHIP_TRACK = "membership"
 #: phase tree or pair comm spans skip this category entirely
 MEMBERSHIP_CATEGORY = "membership"
 
+#: glyphs :meth:`Trace.gantt` renders each record kind with; unknown
+#: kinds fall back to their first alphanumeric character, then ``*``
+GANTT_GLYPHS = {
+    "compute": "#",
+    "h2d": ">",
+    "d2h": "<",
+    "net": "~",
+    "shuffle": "x",
+    "reduce": "+",
+    "overhead": ".",
+    "recv": "?",
+}
+
+
+def gantt_legend() -> str:
+    """One-line legend for the gantt glyphs (``run --report`` timeline)."""
+    known = " ".join(f"{ch}={kind}" for kind, ch in GANTT_GLYPHS.items())
+    return f"legend: {known} (other kinds: first letter, else *)"
+
 
 @dataclass(frozen=True)
 class TaskRecord:
@@ -132,6 +151,12 @@ class Trace:
         #: the observability layer's own host cost is attributed, not
         #: hidden inside whichever subsystem happened to call it.
         self.selfprof = None
+        #: optional structured :class:`~repro.obs.log.EventLog`
+        #: (attach_log).  Every instrumentation site guards on
+        #: ``log is None``, and emitting is pure host bookkeeping, so
+        #: the simulated schedule is bitwise identical with or without
+        #: logging — the same contract the sampler and selfprof keep.
+        self.log = None
         self._busy_union: dict[str, IntervalUnion] = {}
         #: next message id handed to the communicator(s); trace-owned so
         #: ids stay unique across the worlds of rank-restart epochs
@@ -157,6 +182,19 @@ class Trace:
         engine events, so the simulated schedule is bitwise identical
         with or without it."""
         self.selfprof = profiler
+
+    def attach_log(self, log) -> None:
+        """Bind a structured :class:`~repro.obs.log.EventLog` to this
+        trace and hand it the live rank -> open-phase map, so every
+        record it takes inherits the enclosing span id (plus the span's
+        iteration / dag_node attrs).  Pure host bookkeeping — the
+        simulated schedule is bitwise identical with or without it."""
+        log.bind_phases(self._open_phase)
+        self.log = log
+
+    def rank_of(self, device: str) -> int | None:
+        """The rank a device was bound to (None for unbound tracks)."""
+        return self._device_rank.get(device)
 
     def tick(self, now: float) -> None:
         """Advance the attached sampler (no-op without one, and O(1)
@@ -586,16 +624,7 @@ class Trace:
         span = self.makespan
         if span <= 0:
             return "(empty trace)"
-        glyph = {
-            "compute": "#",
-            "h2d": ">",
-            "d2h": "<",
-            "net": "~",
-            "shuffle": "x",
-            "reduce": "+",
-            "overhead": ".",
-            "recv": "?",
-        }
+        glyph = GANTT_GLYPHS
 
         def glyph_for(kind: str) -> str:
             # Unknown kinds (DAG-introduced phase categories, custom

@@ -199,9 +199,16 @@ class TestMetricsCommand:
         payload = json.loads(capsys.readouterr().out)
         assert "prs_device_flops_total" in payload
         assert "prs_job_makespan_seconds" in payload
-        assert all(
-            isinstance(entries, list) for entries in payload.values()
-        )
+        # Self-describing shape: HELP/TYPE metadata alongside samples,
+        # mirroring the Prometheus text exposition's comment lines.
+        for entry in payload.values():
+            assert set(entry) == {"help", "type", "samples"}
+            assert entry["type"] in {
+                "counter", "gauge", "histogram", "untyped"
+            }
+            assert isinstance(entry["samples"], list)
+        assert payload["prs_device_flops_total"]["type"] == "counter"
+        assert payload["prs_job_makespan_seconds"]["type"] == "gauge"
 
 
 class TestTraceExport:
@@ -550,3 +557,88 @@ class TestSelfprofCLI:
         host = payload["cmeans"]["host"]
         assert host["wall_s"] > 0
         assert "engine" in host["sections"]
+
+
+class TestLogsCommand:
+    RUN = [
+        "--app", "cmeans", "--size", "600", "--nodes", "2",
+        "--iterations", "2", "--log-level", "info",
+        "--faults", "gpu_kill@0:t=0.01",
+    ]
+
+    def _export(self, tmp_path, capsys):
+        profile = tmp_path / "logged.profile.jsonl"
+        assert main([
+            "trace", "export", *self.RUN,
+            "--format", "profile", "--out", str(profile),
+        ]) == 0
+        capsys.readouterr()  # discard the "wrote N spans" line
+        return profile
+
+    def test_run_json_carries_logs_block(self, capsys):
+        import json
+
+        assert main(["run", *self.RUN, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        logs = payload["logs"]
+        assert logs["level"] == "info"
+        assert logs["emitted"] >= logs["records"] >= 0
+        assert isinstance(logs["dumps"], list)
+
+    def test_run_text_mentions_event_log(self, capsys):
+        assert main(["run", *self.RUN]) == 0
+        assert "event log" in capsys.readouterr().out
+
+    def test_logs_reads_saved_profile(self, capsys, tmp_path):
+        profile = self._export(tmp_path, capsys)
+        assert main(["logs", str(profile)]) == 0
+        out = capsys.readouterr().out
+        assert "event log: level=info" in out
+
+    def test_logs_filters(self, capsys, tmp_path):
+        import json
+
+        profile = self._export(tmp_path, capsys)
+        assert main([
+            "logs", str(profile), "--level", "info", "--grep", ".", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["level"] == "info"
+        for record in payload["records"]:
+            assert record["level"] in {"info", "warning", "error"}
+
+    def test_logs_around_span(self, capsys, tmp_path):
+        import json
+
+        profile = self._export(tmp_path, capsys)
+        assert main(["logs", str(profile), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        spanned = [
+            r for r in payload["records"] if r["span_id"] is not None
+        ]
+        if not spanned:
+            pytest.skip("no span-correlated records in this run")
+        span_id = spanned[0]["span_id"]
+        assert main([
+            "logs", str(profile), "--around-span", str(span_id), "--json",
+        ]) == 0
+        narrowed = json.loads(capsys.readouterr().out)
+        assert narrowed["records"]
+        assert len(narrowed["records"]) <= len(payload["records"])
+
+    def test_logs_rejects_profile_without_log(self, tmp_path):
+        profile = tmp_path / "plain.profile.jsonl"
+        assert main([
+            "trace", "export", "--app", "cmeans", "--size", "600",
+            "--nodes", "2", "--iterations", "2",
+            "--format", "profile", "--out", str(profile),
+        ]) == 0
+        with pytest.raises(SystemExit, match="no event log"):
+            main(["logs", str(profile)])
+
+    def test_analyze_check_cross_validates_log(self, capsys):
+        assert main([
+            "analyze", *self.RUN, "--check",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ERROR log records pair" in out
